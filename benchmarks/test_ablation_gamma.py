@@ -1,0 +1,73 @@
+"""Ablation A1 — the fast/classic policy's γ horizon (§3.3.2).
+
+The paper: "If we detect a collision, we set the next γ instances (default
+100) to classic.  After γ transactions, fast instances are automatically
+tried again."  This ablation sweeps γ on a contended physical-write
+workload (the Fast configuration, where every conflict is a collision)
+and reports commits, aborts and latency.
+
+Expected trade-off: tiny γ re-probes fast ballots while the hot spot is
+still contended and pays repeated collision resolutions; large γ parks
+hot records in (stable, slower) master-routed mode longer than needed.
+"""
+
+import pytest
+
+from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.bench.harness import run_micro
+from repro.bench.reporting import format_table, save_results
+
+GAMMAS = (1, 10, 100, 1_000)
+_CACHE = {}
+
+
+def gamma_results():
+    if not _CACHE:
+        for gamma in GAMMAS:
+            config = MDCCConfig(variant=ProtocolVariant.FAST, gamma=gamma)
+            _CACHE[gamma] = run_micro(
+                "fast",
+                num_clients=30,
+                num_items=200,  # hot: plenty of write-write conflicts
+                warmup_ms=5_000,
+                measure_ms=30_000,
+                seed=21,
+                min_stock=2_000,
+                max_stock=4_000,
+                config=config,
+                audit=True,
+            )
+    return _CACHE
+
+
+def test_ablation_gamma(benchmark):
+    results = benchmark.pedantic(gamma_results, rounds=1, iterations=1)
+
+    rows = []
+    for gamma in GAMMAS:
+        r = results[gamma]
+        rows.append(
+            {
+                "gamma": gamma,
+                "commits": r.commits,
+                "aborts": r.aborts,
+                "median_ms": round(r.median_ms, 1),
+                "collisions": r.counters.get("coordinator.collisions", 0),
+            }
+        )
+    table = format_table(rows, title="Ablation — γ (classic instances after a collision)")
+    print()
+    print(table)
+    save_results("ablation_gamma", table)
+    benchmark.extra_info.update({f"commits_g{g}": results[g].commits for g in GAMMAS})
+
+    # Correctness must hold at every γ.
+    for gamma in GAMMAS:
+        assert results[gamma].audit_problems == [], gamma
+        assert results[gamma].constraint_violations == 0, gamma
+    # γ=1 re-probes fast immediately on a contended record: it must pay
+    # more collision resolutions than the paper's γ=100.
+    collisions = {
+        g: results[g].counters.get("coordinator.collisions", 0) for g in GAMMAS
+    }
+    assert collisions[1] > collisions[100]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Write-skew and the §4.4 serializability extension.
+
+The classic on-call scheduling anomaly: a hospital requires at least one
+doctor on call.  Both Alice and Bob see two doctors on call, each decides
+it is safe to go home, and each removes only themself — under plain
+read-committed isolation both transactions commit and the shift is empty.
+
+MDCC's default isolation (read committed without lost updates) permits
+this write-skew: the two write-sets are disjoint, so no write-write
+conflict exists.  With read-set validation (``serializable=True``) each
+transaction also asserts that the *other* doctor's record is unchanged at
+commit — one of the two must abort, and the invariant holds.
+
+Run it:
+
+    python examples/serializable_oncall.py
+"""
+
+from repro import TableSchema, build_cluster
+
+
+def on_call_count(cluster) -> int:
+    return sum(
+        1
+        for key in ("alice", "bob")
+        if cluster.read_committed("doctors", key).value["on_call"]
+    )
+
+
+def shift_change(serializable: bool, seed: int) -> dict:
+    cluster = build_cluster("mdcc", seed=seed)
+    cluster.register_table(TableSchema("doctors"))
+    cluster.load_record("doctors", "alice", {"on_call": True})
+    cluster.load_record("doctors", "bob", {"on_call": True})
+    sim = cluster.sim
+
+    alice = cluster.begin(cluster.add_client("us-west"), serializable=serializable)
+    bob = cluster.begin(cluster.add_client("eu-west"), serializable=serializable)
+
+    # Both read BOTH records and see two doctors on call.
+    for tx in (alice, bob):
+        sim.run_until(tx.read("doctors", "alice"))
+        sim.run_until(tx.read("doctors", "bob"))
+    assert alice.observed_value("doctors", "bob")["on_call"]
+    assert bob.observed_value("doctors", "alice")["on_call"]
+
+    # Each concludes "the other one is staying" and signs off.
+    alice.write("doctors", "alice", {"on_call": False})
+    bob.write("doctors", "bob", {"on_call": False})
+
+    fut_a, fut_b = alice.commit(), bob.commit()
+    sim.run_until(fut_a)
+    sim.run_until(fut_b)
+    sim.run(until=sim.now + 3_000)
+
+    return {
+        "alice_committed": fut_a.result().committed,
+        "bob_committed": fut_b.result().committed,
+        "on_call": on_call_count(cluster),
+    }
+
+
+def main() -> None:
+    print("invariant: at least one doctor on call\n")
+
+    r = shift_change(serializable=False, seed=17)
+    print("--- default isolation (read committed, no lost updates) ---")
+    print(f"alice committed: {r['alice_committed']}")
+    print(f"bob committed:   {r['bob_committed']}")
+    print(f"doctors on call: {r['on_call']}  <- write-skew broke the invariant\n")
+    assert r["on_call"] == 0  # the anomaly this isolation level permits
+
+    r = shift_change(serializable=True, seed=17)
+    print("--- serializable=True (read-set validation, §4.4) ---")
+    print(f"alice committed: {r['alice_committed']}")
+    print(f"bob committed:   {r['bob_committed']}")
+    print(f"doctors on call: {r['on_call']}")
+    assert not (r["alice_committed"] and r["bob_committed"])
+    assert r["on_call"] >= 1
+    print(
+        "\nRead validations ride the same per-record Paxos instances as "
+        "writes:\nthe transaction commits only if every record it read is "
+        "still at the\nversion it saw — full serializability, still without "
+        "a master on the\ncritical path."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Experiment harness regenerating every figure of the paper (§5).
+
+* :mod:`repro.bench.harness` — run one configured experiment (cluster +
+  workload + measurement windows) and collect the statistics a figure
+  needs.
+* :mod:`repro.bench.scenarios` — the canonical configurations for each
+  figure (scaled to laptop-size simulations; scale factors documented).
+* :mod:`repro.bench.reporting` — text tables and CDF summaries comparable
+  with the paper's plots, plus result persistence for EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import ExperimentResult, run_micro, run_tpcw
+from repro.bench.reporting import (
+    cdf_table,
+    format_table,
+    save_results,
+    shape_check,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "cdf_table",
+    "format_table",
+    "run_micro",
+    "run_tpcw",
+    "save_results",
+    "shape_check",
+]

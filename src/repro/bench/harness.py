@@ -1,0 +1,182 @@
+"""Run one experiment: build a cluster, drive a workload, collect stats.
+
+Every benchmark in ``benchmarks/`` funnels through :func:`run_tpcw` or
+:func:`run_micro`, so experiment parameters live in exactly one place and
+the pytest-benchmark wrappers stay declarative.
+
+Scaling note: the paper measured 100 clients for 2-3 wall-clock minutes on
+EC2.  We run the same protocols above a discrete-event simulation, so
+"time" is simulated milliseconds and one experiment finishes in seconds of
+host CPU.  Client counts, item counts and window lengths are scaled down
+by a constant factor per scenario (documented in EXPERIMENTS.md); shapes,
+orderings and ratios are preserved, absolute throughput numbers are not
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MDCCConfig
+from repro.db.checkers import check_constraints, check_replica_convergence
+from repro.db.cluster import build_cluster
+from repro.sim.monitor import LatencyRecorder
+from repro.workloads.generator import WorkloadStats
+from repro.workloads.micro import MicroBenchmark
+from repro.workloads.tpcw import TPCWBenchmark
+
+__all__ = ["ExperimentResult", "run_micro", "run_tpcw"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure needs from one protocol run."""
+
+    protocol: str
+    stats: WorkloadStats
+    commits: int
+    aborts: int
+    median_ms: Optional[float]
+    p90_ms: Optional[float]
+    p99_ms: Optional[float]
+    throughput_tps: float
+    audit_problems: List[str] = field(default_factory=list)
+    divergent_records: int = 0
+    constraint_violations: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def latencies(self) -> LatencyRecorder:
+        return self.stats.write_latencies
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "median_ms": None if self.median_ms is None else round(self.median_ms, 1),
+            "p90_ms": None if self.p90_ms is None else round(self.p90_ms, 1),
+            "tps": round(self.throughput_tps, 1),
+        }
+
+
+def _collect(protocol, cluster, stats, workload, audit_table, audit_keys) -> ExperimentResult:
+    recorder = stats.write_latencies
+    has_latencies = len(recorder) > 0
+    problems: List[str] = []
+    divergent = 0
+    violations = 0
+    if audit_table is not None:
+        problems = workload.ledger.audit(cluster)
+        divergent = len(check_replica_convergence(cluster, audit_table, audit_keys))
+        violations = len(check_constraints(cluster, audit_table, audit_keys))
+    return ExperimentResult(
+        protocol=protocol,
+        stats=stats,
+        commits=stats.commits,
+        aborts=stats.aborts,
+        median_ms=recorder.median if has_latencies else None,
+        p90_ms=recorder.percentile(0.9) if has_latencies else None,
+        p99_ms=recorder.percentile(0.99) if has_latencies else None,
+        throughput_tps=stats.throughput_tps(),
+        audit_problems=problems,
+        divergent_records=divergent,
+        constraint_violations=violations,
+        counters=cluster.counters.as_dict(),
+    )
+
+
+def run_tpcw(
+    protocol: str,
+    num_clients: int = 50,
+    num_items: int = 2_000,
+    warmup_ms: float = 10_000.0,
+    measure_ms: float = 60_000.0,
+    seed: int = 1,
+    min_stock: int = 500,
+    max_stock: int = 1_000,
+    partitions_per_table: int = 2,
+    client_dcs: Optional[Sequence[str]] = None,
+    audit: bool = True,
+    config: Optional[MDCCConfig] = None,
+) -> ExperimentResult:
+    """One TPC-W run of ``protocol`` (Figures 3 and 4).
+
+    The paper's Megastore* setup places all clients in US-West with the
+    master ("we play in favor of Megastore*"); we reproduce that placement
+    automatically for the megastore protocol.
+    """
+    parts = 1 if protocol == "megastore" else partitions_per_table
+    cluster = build_cluster(
+        protocol, seed=seed, partitions_per_table=parts, config=config
+    )
+    if protocol == "megastore" and client_dcs is None:
+        client_dcs = ["us-west"]
+    bench = TPCWBenchmark(
+        num_items=num_items, min_stock=min_stock, max_stock=max_stock
+    )
+    stats, pool = bench.run(
+        cluster,
+        num_clients=num_clients,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        client_dcs=client_dcs,
+    )
+    pool.drain(30_000)
+    keys = bench.item_keys if audit else []
+    return _collect(protocol, cluster, stats, bench, "item" if audit else None, keys)
+
+
+def run_micro(
+    protocol: str,
+    num_clients: int = 50,
+    num_items: int = 2_000,
+    warmup_ms: float = 10_000.0,
+    measure_ms: float = 60_000.0,
+    seed: int = 1,
+    min_stock: int = 500,
+    max_stock: int = 1_000,
+    partitions_per_table: int = 2,
+    hotspot_fraction: Optional[float] = None,
+    locality: Optional[float] = None,
+    client_dcs: Optional[Sequence[str]] = None,
+    audit: bool = True,
+    config: Optional[MDCCConfig] = None,
+    fail_dc_at: Optional[tuple] = None,
+) -> ExperimentResult:
+    """One micro-benchmark run of ``protocol`` (Figures 5-8).
+
+    ``fail_dc_at=(dc, at_ms)`` schedules a full data-center outage at the
+    given simulated offset (Figure 8's scenario).
+    """
+    parts = 1 if protocol == "megastore" else partitions_per_table
+    cluster = build_cluster(
+        protocol, seed=seed, partitions_per_table=parts, config=config
+    )
+    bench = MicroBenchmark(
+        num_items=num_items,
+        min_stock=min_stock,
+        max_stock=max_stock,
+        hotspot_fraction=hotspot_fraction,
+        locality=locality,
+    )
+    if fail_dc_at is not None:
+        dc, at_ms = fail_dc_at
+        cluster.sim.schedule(at_ms, cluster.fail_datacenter, dc)
+    stats, pool = bench.run(
+        cluster,
+        num_clients=num_clients,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        client_dcs=client_dcs,
+    )
+    pool.drain(30_000)
+    keys = bench.keys if audit else []
+    result = _collect(
+        protocol, cluster, stats, bench, "items" if audit else None, keys
+    )
+    if fail_dc_at is not None:
+        result.extra["fail_dc_at"] = fail_dc_at
+    return result

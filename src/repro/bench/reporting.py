@@ -1,0 +1,90 @@
+"""Result tables, CDF summaries and shape checks for the benchmarks.
+
+Each benchmark prints a table comparable with the paper's figure and
+persists it under ``benchmarks/results/`` so EXPERIMENTS.md can cite the
+numbers.  :func:`shape_check` centralizes the qualitative assertions —
+orderings and ratios, never absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "cdf_table",
+    "format_table",
+    "results_dir",
+    "save_results",
+    "shape_check",
+]
+
+
+def results_dir() -> str:
+    """benchmarks/results/ at the repository root (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def cdf_table(
+    recorders: Dict[str, object],
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+) -> List[Dict[str, object]]:
+    """Percentile rows per protocol — the textual form of a CDF plot."""
+    rows = []
+    for name, recorder in recorders.items():
+        row: Dict[str, object] = {"protocol": name, "count": len(recorder)}
+        for fraction in fractions:
+            label = f"p{int(fraction * 100)}"
+            row[label] = round(recorder.percentile(fraction), 1) if len(recorder) else None
+        rows.append(row)
+    return rows
+
+
+def save_results(name: str, content: str) -> str:
+    """Persist a report under benchmarks/results/<name>.txt; returns path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(content)
+    return path
+
+
+def shape_check(
+    ordering: Sequence[Tuple[str, float]],
+    tolerance: float = 1.0,
+) -> None:
+    """Assert that metric values are non-decreasing along ``ordering``.
+
+    ``ordering`` is (label, value) pairs in the expected slow-to-fast—
+    pardon, small-to-large—order.  ``tolerance`` is a multiplicative
+    slack: value[i+1] >= value[i] / tolerance.
+    """
+    for (label_a, value_a), (label_b, value_b) in zip(ordering, ordering[1:]):
+        assert value_b >= value_a / tolerance, (
+            f"shape violated: {label_b}={value_b:.1f} should not be below "
+            f"{label_a}={value_a:.1f} (tolerance {tolerance})"
+        )

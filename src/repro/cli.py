@@ -1,0 +1,208 @@
+"""Command-line interface: run any protocol/workload combination.
+
+A downstream user's entry point to the reproduction without writing a
+script::
+
+    python -m repro run --protocol mdcc --workload micro --clients 25
+    python -m repro run --protocol 2pc --workload tpcw --measure-s 20
+    python -m repro compare --protocols mdcc,2pc,qw4 --workload micro
+    python -m repro run --protocol mdcc --fail-dc us-east --fail-at-s 30
+
+``run`` executes one experiment and prints a summary (or ``--json``);
+``compare`` runs several protocols on the identical workload and prints
+the Figure-3-style comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import ExperimentResult, run_micro, run_tpcw
+from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.db.cluster import PROTOCOLS
+
+__all__ = ["build_parser", "main"]
+
+_VARIANTS = {
+    "mdcc": ProtocolVariant.MDCC,
+    "fast": ProtocolVariant.FAST,
+    "multi": ProtocolVariant.MULTI,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MDCC (EuroSys'13) reproduction — run simulated "
+        "geo-replicated transaction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one protocol on one workload")
+    _experiment_args(run)
+    run.add_argument(
+        "--protocol", choices=PROTOCOLS, default="mdcc", help="protocol to run"
+    )
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    compare = sub.add_parser(
+        "compare", help="run several protocols on the identical workload"
+    )
+    _experiment_args(compare)
+    compare.add_argument(
+        "--protocols",
+        default="mdcc,2pc,qw4",
+        help="comma-separated protocol list (default: mdcc,2pc,qw4)",
+    )
+    compare.add_argument("--json", action="store_true")
+    return parser
+
+
+def _experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=("micro", "tpcw"), default="micro"
+    )
+    parser.add_argument("--clients", type=int, default=25)
+    parser.add_argument("--items", type=int, default=1_000)
+    parser.add_argument("--warmup-s", type=float, default=5.0)
+    parser.add_argument("--measure-s", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--hotspot",
+        type=float,
+        default=None,
+        help="hot-spot fraction of the table, e.g. 0.02 (micro only)",
+    )
+    parser.add_argument(
+        "--locality",
+        type=float,
+        default=None,
+        help="fraction of txs touching locally-mastered records (micro only)",
+    )
+    parser.add_argument(
+        "--gamma-policy", choices=("static", "adaptive"), default="static"
+    )
+    parser.add_argument(
+        "--batch-ms",
+        type=float,
+        default=0.0,
+        help="visibility batching window (MDCC variants)",
+    )
+    parser.add_argument(
+        "--no-demarcation",
+        action="store_true",
+        help="disable the quorum demarcation limit (unsafe; for study)",
+    )
+    parser.add_argument(
+        "--fail-dc",
+        default=None,
+        help="data center to fail mid-run (e.g. us-east)",
+    )
+    parser.add_argument(
+        "--fail-at-s",
+        type=float,
+        default=None,
+        help="simulated seconds into the run at which --fail-dc goes dark",
+    )
+    parser.add_argument(
+        "--no-audit", action="store_true", help="skip post-run consistency audits"
+    )
+
+
+def _config_for(protocol: str, args: argparse.Namespace) -> Optional[MDCCConfig]:
+    if protocol not in _VARIANTS:
+        return None
+    return MDCCConfig(
+        variant=_VARIANTS[protocol],
+        gamma_policy=args.gamma_policy,
+        visibility_batch_ms=args.batch_ms,
+        demarcation_enabled=not args.no_demarcation,
+    )
+
+
+def _run_one(protocol: str, args: argparse.Namespace) -> ExperimentResult:
+    kwargs = dict(
+        num_clients=args.clients,
+        num_items=args.items,
+        warmup_ms=args.warmup_s * 1_000.0,
+        measure_ms=args.measure_s * 1_000.0,
+        seed=args.seed,
+        audit=not args.no_audit,
+        config=_config_for(protocol, args),
+    )
+    if args.workload == "tpcw":
+        if args.hotspot is not None or args.locality is not None:
+            raise SystemExit("--hotspot/--locality apply to the micro workload")
+        return run_tpcw(protocol, **kwargs)
+    fail_dc_at = None
+    if args.fail_dc is not None:
+        at_s = args.fail_at_s if args.fail_at_s is not None else args.measure_s / 2
+        fail_dc_at = (args.fail_dc, args.warmup_s * 1_000.0 + at_s * 1_000.0)
+    return run_micro(
+        protocol,
+        hotspot_fraction=args.hotspot,
+        locality=args.locality,
+        fail_dc_at=fail_dc_at,
+        **kwargs,
+    )
+
+
+def _as_dict(result: ExperimentResult) -> dict:
+    return {
+        "protocol": result.protocol,
+        "commits": result.commits,
+        "aborts": result.aborts,
+        "median_ms": result.median_ms,
+        "p90_ms": result.p90_ms,
+        "p99_ms": result.p99_ms,
+        "throughput_tps": result.throughput_tps,
+        "audit_problems": len(result.audit_problems),
+        "constraint_violations": result.constraint_violations,
+        "divergent_records": result.divergent_records,
+    }
+
+
+def _print_table(results: List[ExperimentResult]) -> None:
+    header = (
+        f"{'protocol':>10} {'median':>8} {'p90':>8} {'p99':>8} "
+        f"{'commits':>8} {'aborts':>8} {'tps':>7} {'audit':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        audit = "clean" if not r.audit_problems and not r.constraint_violations else "DIRTY"
+        median = f"{r.median_ms:.1f}" if r.median_ms is not None else "-"
+        p90 = f"{r.p90_ms:.1f}" if r.p90_ms is not None else "-"
+        p99 = f"{r.p99_ms:.1f}" if r.p99_ms is not None else "-"
+        print(
+            f"{r.protocol:>10} {median:>8} {p90:>8} {p99:>8} "
+            f"{r.commits:>8} {r.aborts:>8} {r.throughput_tps:>7.1f} {audit:>6}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        result = _run_one(args.protocol, args)
+        if args.json:
+            print(json.dumps(_as_dict(result), indent=2))
+        else:
+            _print_table([result])
+        return 0
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    unknown = [p for p in protocols if p not in PROTOCOLS]
+    if unknown:
+        raise SystemExit(f"unknown protocol(s): {', '.join(unknown)}")
+    results = [_run_one(protocol, args) for protocol in protocols]
+    if args.json:
+        print(json.dumps([_as_dict(r) for r in results], indent=2))
+    else:
+        _print_table(results)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

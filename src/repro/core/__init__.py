@@ -1,0 +1,48 @@
+"""The MDCC commit protocol — the paper's primary contribution.
+
+Modules map onto the paper's pseudocode (Algorithms 1-3):
+
+* :mod:`repro.core.options` — options ω(up, ✓/✗), physical and commutative
+  updates, the cstruct command type (§3.2).
+* :mod:`repro.core.config` — protocol knobs: quorum sizes, the γ fast/classic
+  policy, timeouts, and the evaluation's "MDCC"/"Fast"/"Multi" variants.
+* :mod:`repro.core.demarcation` — quorum demarcation limits for value
+  constraints (§3.4.2).
+* :mod:`repro.core.state` — per-record acceptor state (ballots, cstruct,
+  pending options, base values).
+* :mod:`repro.core.acceptor` — the storage-node role (Algorithm 3).
+* :mod:`repro.core.master` — the leader role: Phase 1/2, collision recovery,
+  base refresh (Algorithm 2).
+* :mod:`repro.core.storage_node` — the simulated node hosting both roles.
+* :mod:`repro.core.coordinator` — the app-server transaction manager
+  (Algorithm 1).
+* :mod:`repro.core.recovery` — dangling-transaction reconstruction (§3.2.3).
+* :mod:`repro.core.topology` — replica placement and master policies.
+"""
+
+from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.core.options import (
+    CommutativeUpdate,
+    Option,
+    OptionStatus,
+    PhysicalUpdate,
+    RecordId,
+)
+from repro.core.coordinator import MDCCCoordinator, TransactionOutcome, WriteSet
+from repro.core.storage_node import MDCCStorageNode
+from repro.core.topology import ReplicaMap
+
+__all__ = [
+    "CommutativeUpdate",
+    "MDCCConfig",
+    "MDCCCoordinator",
+    "MDCCStorageNode",
+    "Option",
+    "OptionStatus",
+    "PhysicalUpdate",
+    "ProtocolVariant",
+    "RecordId",
+    "ReplicaMap",
+    "TransactionOutcome",
+    "WriteSet",
+]

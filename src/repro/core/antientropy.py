@@ -1,0 +1,206 @@
+"""Anti-entropy: background replica repair after failures.
+
+The paper leaves post-outage repair to the future — "if the data center
+comes up again, only records which have been updated during the failure
+would still be impacted by the increased latency until the next update or
+a background process brought them up-to-date" (§5.3.4), and §3.2.3
+anticipates "bulk-copy techniques to bring the data up-to-date more
+efficiently without involving the Paxos protocol".  This module is that
+background process.
+
+:class:`AntiEntropyAgent` sweeps records: it reads the committed snapshot
+from every replica, finds the freshest version among the replies, and
+sends :class:`~repro.core.messages.CatchUp` to replicas that are behind.
+Safety is inherited from the catch-up rule — replicas only ever adopt a
+*newer* committed version (``catch_up`` is a no-op for stale or duplicate
+repair messages), and the repair payload is always a version some replica
+already committed.  The sweep therefore never rolls back state and can be
+run at any time, even during failures; replicas that are unreachable now
+are simply repaired by a later sweep.
+
+A sweep is complete when every replica replied or the per-record timeout
+expired; repair proceeds with whatever arrived.  With fewer than a classic
+quorum of replies the freshest version seen may itself be behind the
+latest commit — the sweep still helps (it can only move replicas forward)
+and a subsequent sweep finishes the job once more replicas answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MDCCConfig
+from repro.core.messages import CatchUp, RepairProbe, RepairReply
+from repro.core.options import RecordId
+from repro.core.topology import ReplicaMap
+from repro.sim.core import Future, Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+__all__ = ["AntiEntropyAgent", "SweepReport"]
+
+
+@dataclass
+class SweepReport:
+    """What one sweep observed and repaired."""
+
+    records_swept: int = 0
+    replicas_repaired: int = 0
+    records_with_lag: int = 0
+    unreachable_replies: int = 0  # replicas that never answered the probe
+
+    def merge(self, other: "SweepReport") -> None:
+        self.records_swept += other.records_swept
+        self.replicas_repaired += other.replicas_repaired
+        self.records_with_lag += other.records_with_lag
+        self.unreachable_replies += other.unreachable_replies
+
+
+@dataclass
+class _Probe:
+    record: RecordId
+    expected: int
+    replies: Dict[str, RepairReply] = field(default_factory=dict)
+    done: bool = False
+
+
+class AntiEntropyAgent(Node):
+    """A background repair process for one data center.
+
+    One agent can sweep any number of records; deploy one per data center
+    for locality (probes still cross the WAN — every replica must be
+    read).  Typical use::
+
+        agent = cluster.add_anti_entropy_agent("us-west")
+        report = cluster.sim.run_until(agent.sweep("items", keys))
+        agent.start_periodic("items", keys, interval_ms=30_000)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+        probe_timeout_ms: float = 1_500.0,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.probe_timeout_ms = probe_timeout_ms
+        self._request_seq = itertools.count(1)
+        self._probes: Dict[int, _Probe] = {}
+        self._probe_futures: Dict[int, Future] = {}
+        self._periodic_timer = None
+        self._periodic_args: Optional[Tuple[str, List[str], float]] = None
+
+    # ------------------------------------------------------------------
+    # One-shot sweep
+    # ------------------------------------------------------------------
+    def sweep(self, table: str, keys: Sequence[str]) -> Future:
+        """Probe and repair every (table, key); resolves with a
+        :class:`SweepReport`."""
+        report = SweepReport()
+        aggregate = self.sim.future()
+        pending = [len(keys)]
+        if not keys:
+            aggregate.resolve(report)
+            return aggregate
+
+        def on_record_done(fut: Future) -> None:
+            report.merge(fut.result())
+            pending[0] -= 1
+            if pending[0] == 0:
+                self.counters.increment("antientropy.sweeps")
+                aggregate.resolve(report)
+
+        for key in keys:
+            self._sweep_record(RecordId(table, key)).add_done_callback(
+                on_record_done
+            )
+        return aggregate
+
+    def _sweep_record(self, record: RecordId) -> Future:
+        request_id = next(self._request_seq)
+        replicas = self.placement.replicas(record)
+        probe = _Probe(record=record, expected=len(replicas))
+        future = self.sim.future()
+        self._probes[request_id] = probe
+        self._probe_futures[request_id] = future
+        for replica in replicas:
+            self.send(replica, RepairProbe(record=record, request_id=request_id))
+        self.set_timer(self.probe_timeout_ms, self._finish_probe, request_id)
+        return future
+
+    def handle_repair_reply(self, message: RepairReply, src_id: str) -> None:
+        probe = self._probes.get(message.request_id)
+        if probe is None or probe.done:
+            return
+        probe.replies[src_id] = message
+        if len(probe.replies) >= probe.expected:
+            self._finish_probe(message.request_id)
+
+    def _finish_probe(self, request_id: int) -> None:
+        probe = self._probes.pop(request_id, None)
+        future = self._probe_futures.pop(request_id, None)
+        if probe is None or probe.done or future is None:
+            return
+        probe.done = True
+        report = SweepReport(records_swept=1)
+        report.unreachable_replies = probe.expected - len(probe.replies)
+        if probe.replies:
+            freshest = max(probe.replies.values(), key=lambda r: r.version)
+            behind = [
+                node_id
+                for node_id, reply in probe.replies.items()
+                if reply.version < freshest.version
+            ]
+            if behind:
+                report.records_with_lag = 1
+                report.replicas_repaired = len(behind)
+                repair = CatchUp(
+                    record=probe.record,
+                    version=freshest.version,
+                    value=freshest.value,
+                    exists=freshest.exists,
+                    applied_ids=freshest.applied_ids,
+                )
+                for node_id in behind:
+                    self.send(node_id, repair)
+                self.counters.increment(
+                    "antientropy.repairs", amount=len(behind)
+                )
+        future.resolve(report)
+
+    # ------------------------------------------------------------------
+    # Periodic operation
+    # ------------------------------------------------------------------
+    def start_periodic(
+        self, table: str, keys: Sequence[str], interval_ms: float
+    ) -> None:
+        """Sweep (table, keys) every ``interval_ms`` until :meth:`stop`."""
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.stop()
+        self._periodic_args = (table, list(keys), interval_ms)
+        self._periodic_timer = self.set_timer(interval_ms, self._periodic_tick)
+
+    def stop(self) -> None:
+        if self._periodic_timer is not None:
+            self._periodic_timer.cancel()
+            self._periodic_timer = None
+        self._periodic_args = None
+
+    def _periodic_tick(self) -> None:
+        if self._periodic_args is None:
+            return
+        table, keys, interval_ms = self._periodic_args
+        self.sweep(table, keys)
+        self._periodic_timer = self.set_timer(interval_ms, self._periodic_tick)

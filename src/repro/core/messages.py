@@ -1,0 +1,286 @@
+"""Wire messages of the MDCC protocol.
+
+Naming follows the paper's pseudocode: Propose, Phase1a/1b, Phase2a/2b,
+Visibility, StartRecovery (Algorithms 1-3).  Fast-path proposals go
+straight to the acceptors (ProposeFast); classic-path proposals go to the
+record's master (ProposeClassic).  All messages are immutable dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.options import Option, OptionStatus, RecordId
+from repro.paxos.ballot import Ballot, BallotRange
+from repro.paxos.cstruct import CStruct
+
+__all__ = [
+    "CatchUp",
+    "FastReply",
+    "MPhase1a",
+    "MPhase1b",
+    "MPhase2a",
+    "MPhase2b",
+    "OptionOutcome",
+    "ProposeClassic",
+    "ProposeFast",
+    "ReadReply",
+    "ReadRequest",
+    "RepairProbe",
+    "RepairReply",
+    "StartRecovery",
+    "StatusReply",
+    "StatusRequest",
+    "Visibility",
+    "VisibilityBatch",
+]
+
+
+# ----------------------------------------------------------------------
+# Fast path (Algorithm 3, Phase2bFast)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProposeFast:
+    """Coordinator → acceptors: propose an option in the current fast ballot."""
+
+    option: Option
+    reply_to: str  # learner node id (the coordinating app-server)
+
+
+@dataclass(frozen=True)
+class FastReply:
+    """Acceptor → learner: the option's locally decided status (Phase2b).
+
+    Carries the acceptor's committed version so learners can spot laggards,
+    and the era's fast/classic mode + master hint so coordinators can keep
+    their routing cache fresh.
+    """
+
+    option_id: str
+    txid: str
+    record: RecordId
+    status: OptionStatus
+    committed_version: int
+    is_fast_era: bool
+    master_hint: str
+
+
+# ----------------------------------------------------------------------
+# Classic path (master-routed)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProposeClassic:
+    """Coordinator (or forwarding acceptor) → master."""
+
+    option: Option
+    reply_to: str  # coordinator to notify with the OptionOutcome
+
+
+@dataclass(frozen=True)
+class MPhase1a:
+    """Master → acceptors: claim mastership of an instance range."""
+
+    record: RecordId
+    ballot: Ballot
+    grant: BallotRange
+
+
+@dataclass(frozen=True)
+class MPhase1b:
+    """Acceptor → master: promise + current accepted state.
+
+    ``granted`` is False when the acceptor holds a higher promise (a nack);
+    ``promised`` then carries that higher ballot so the master can leapfrog.
+    """
+
+    record: RecordId
+    ballot: Ballot
+    granted: bool
+    promised: Ballot
+    accepted_ballot: Optional[Ballot]
+    cstruct: Optional[CStruct]
+    committed_version: int
+    committed_value: Optional[Dict[str, object]]
+    #: option ids folded into committed_value (for safe CatchUp relays).
+    applied_ids: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MPhase2a:
+    """Master → acceptors: adopt this cstruct at this ballot.
+
+    ``post_grant`` optionally re-programs the record's mode after adoption:
+    a classic range for the next γ instances after a physical collision, or
+    a fresh fast ballot (with ``new_base`` demarcation values) after a
+    commutative base refresh (§3.4.2).
+    """
+
+    record: RecordId
+    ballot: Ballot
+    cstruct: CStruct
+    post_grant: Optional[BallotRange] = None
+    new_base: Optional[Dict[str, float]] = None
+
+
+@dataclass(frozen=True)
+class MPhase2b:
+    """Acceptor → master: the adopted cstruct with locally decided statuses."""
+
+    record: RecordId
+    ballot: Ballot
+    accepted: bool
+    cstruct: Optional[CStruct]
+    committed_version: int
+
+
+@dataclass(frozen=True)
+class OptionOutcome:
+    """Master → coordinator: an option's quorum-decided status."""
+
+    option_id: str
+    txid: str
+    record: RecordId
+    status: OptionStatus
+
+
+@dataclass(frozen=True)
+class StartRecovery:
+    """Learner → master: fast ballot collided (or timed out); arbitrate.
+
+    ``reason`` is "collision", "commutative-limit" or "timeout" — it picks
+    the γ policy (physical collisions switch the record to classic for γ
+    instances; commutative limit hits refresh the base and may re-open fast
+    immediately, §3.4.2).
+    """
+
+    record: RecordId
+    reason: str
+    option: Optional[Option] = None  # re-propose on behalf of this learner
+    reply_to: str = ""
+
+
+# ----------------------------------------------------------------------
+# Visibility & catch-up
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Visibility:
+    """Coordinator → acceptors: execute (✓) or discard (✗) an option.
+
+    Carries the whole option so that replicas that never saw the proposal
+    can still apply the committed update ("piggybacking notification of
+    commit state", §1; lost-propose repair).
+    """
+
+    option: Option
+    committed: bool
+
+
+@dataclass(frozen=True)
+class VisibilityBatch:
+    """Coordinator → one acceptor: several visibilities in one message.
+
+    The §7 future-work optimization — "batching techniques that reduce the
+    message overhead".  Visibility notifications are off the commit's
+    critical path ("the Learned message ... can be asynchronous, but does
+    not influence the correctness"), so a coordinator may buffer them
+    briefly and ship one message per destination instead of one per
+    option.  Semantics are identical to delivering each
+    :class:`Visibility` in order.
+    """
+
+    visibilities: Tuple[Visibility, ...]
+
+    def __post_init__(self) -> None:
+        if not self.visibilities:
+            raise ValueError("empty visibility batch")
+
+
+@dataclass(frozen=True)
+class CatchUp:
+    """Master/repair-agent → lagging acceptor: a record's committed state.
+
+    ``applied_ids`` lists the option ids folded into ``value`` at the
+    source replica.  The adopting replica marks them executed so that
+    their visibilities — possibly still in flight towards it — are not
+    applied a second time on top of the adopted state.
+    """
+
+    record: RecordId
+    version: int
+    value: Optional[Dict[str, object]]
+    exists: bool
+    applied_ids: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RepairProbe:
+    """Anti-entropy agent → acceptor: report committed state for repair."""
+
+    record: RecordId
+    request_id: int
+
+
+@dataclass(frozen=True)
+class RepairReply:
+    """Acceptor → anti-entropy agent: committed state + applied ids.
+
+    Unlike a client :class:`ReadReply`, carries ``applied_ids`` so the
+    agent can relay a CatchUp that lagging replicas can adopt without
+    double-applying in-flight visibilities.
+    """
+
+    request_id: int
+    record: RecordId
+    exists: bool
+    value: Optional[Dict[str, object]]
+    version: int
+    applied_ids: Tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# Reads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadRequest:
+    table: str
+    key: str
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    request_id: int
+    table: str
+    key: str
+    exists: bool
+    value: Optional[Dict[str, object]]
+    version: int
+    is_fast_era: bool
+    master_hint: str
+
+
+# ----------------------------------------------------------------------
+# Dangling-transaction recovery (§3.2.3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StatusRequest:
+    """Recovery agent → acceptors: what do you know about this tx's option?"""
+
+    txid: str
+    record: RecordId
+    request_id: int
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """One acceptor's knowledge of one option of a transaction."""
+
+    request_id: int
+    txid: str
+    record: RecordId
+    known: bool
+    status: Optional[OptionStatus]   # acceptor's local flag if known
+    executed: bool                   # visibility already applied
+    option: Optional[Option]         # the full option, for re-proposal
+    writeset: Tuple[RecordId, ...]   # write-set keys carried by the option

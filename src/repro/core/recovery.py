@@ -1,0 +1,195 @@
+"""Dangling-transaction recovery (§3.2.3).
+
+An app-server that fails mid-commit leaves a "dangling transaction":
+options proposed, possibly learned, but never driven to visibility.
+Because every option carries the transaction id and *all primary keys of
+the write-set*, any node can finish the job:
+
+1. read the option (and through it the write-set) from a quorum of the
+   replicas of any record the transaction touched;
+2. for every write-set record, force a definitive decision — "a quorum is
+   required to determine what was decided by the Paxos instance", which we
+   obtain by asking the record's master to run a recovery (classic) round;
+3. commit iff every option is accepted, then send the Visibility messages
+   the dead coordinator never sent.
+
+The agent is deterministic and idempotent: several agents may recover the
+same transaction concurrently; acceptors deduplicate visibilities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.config import MDCCConfig
+from repro.core.messages import (
+    OptionOutcome,
+    StartRecovery,
+    StatusReply,
+    StatusRequest,
+    Visibility,
+)
+from repro.core.options import Option, OptionStatus, RecordId
+from repro.core.topology import ReplicaMap
+from repro.sim.core import Future, Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+__all__ = ["RecoveryAgent"]
+
+
+@dataclass
+class _RecoveryState:
+    txid: str
+    future: Future
+    request_id: int
+    #: record -> replies per replica
+    replies: Dict[RecordId, Dict[str, StatusReply]] = field(default_factory=dict)
+    writeset: Optional[tuple] = None
+    options: Dict[RecordId, Option] = field(default_factory=dict)
+    decisions: Dict[RecordId, OptionStatus] = field(default_factory=dict)
+    escalated: Set[RecordId] = field(default_factory=set)
+    probed: Set[RecordId] = field(default_factory=set)
+    finished: bool = False
+
+
+class RecoveryAgent(Node):
+    """A node that reconstructs and completes dangling transactions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.spec = config.quorums
+        self.counters = counters if counters is not None else CounterSet()
+        self._request_seq = itertools.count(1)
+        self._by_txid: Dict[str, _RecoveryState] = {}
+        self._by_request: Dict[int, _RecoveryState] = {}
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def recover(self, txid: str, hint_record: RecordId) -> Future:
+        """Recover ``txid`` given any record it wrote.
+
+        Resolves with True if the transaction was committed, False if it
+        was aborted.
+        """
+        if txid in self._by_txid:
+            return self._by_txid[txid].future
+        state = _RecoveryState(
+            txid=txid,
+            future=self.sim.future(),
+            request_id=next(self._request_seq),
+        )
+        self._by_txid[txid] = state
+        self._by_request[state.request_id] = state
+        self._probe(state, hint_record)
+        self.counters.increment("recovery.started")
+        return state.future
+
+    # ------------------------------------------------------------------
+    # Status collection
+    # ------------------------------------------------------------------
+    def _probe(self, state: _RecoveryState, record: RecordId) -> None:
+        if record in state.probed:
+            return
+        state.probed.add(record)
+        request = StatusRequest(
+            txid=state.txid, record=record, request_id=state.request_id
+        )
+        self.broadcast(self.placement.replicas(record), request)
+
+    def handle_status_reply(self, message: StatusReply, src_id: str) -> None:
+        state = self._by_request.get(message.request_id)
+        if state is None or state.finished:
+            return
+        record_replies = state.replies.setdefault(message.record, {})
+        record_replies[src_id] = message
+        if message.known and message.option is not None:
+            state.options.setdefault(message.record, message.option)
+            if state.writeset is None and message.writeset:
+                state.writeset = tuple(message.writeset)
+                for record in state.writeset:
+                    self._probe(state, record)
+        self._evaluate(state, message.record)
+
+    def _evaluate(self, state: _RecoveryState, record: RecordId) -> None:
+        if record in state.decisions or state.finished:
+            return
+        replies = state.replies.get(record, {})
+        if len(replies) < self.spec.classic_size:
+            return
+        # Any executed replica proves the commit decision for this option.
+        if any(reply.executed for reply in replies.values()):
+            self._decide(state, record, OptionStatus.ACCEPTED)
+            return
+        option = state.options.get(record)
+        if option is None:
+            if len(replies) == self.spec.n:
+                # No replica knows an option for this record: it cannot
+                # have been accepted by any quorum, so the transaction
+                # cannot have committed.
+                self._decide(state, record, OptionStatus.REJECTED)
+            return
+        # An option exists but its fate is ambiguous: force a definitive
+        # decision through the master's classic round.
+        if record not in state.escalated:
+            state.escalated.add(record)
+            self.send(
+                self.placement.master_node(record),
+                StartRecovery(
+                    record=record,
+                    reason="timeout",
+                    option=option.with_status(OptionStatus.PENDING),
+                    reply_to=self.node_id,
+                ),
+            )
+
+    def handle_option_outcome(self, message: OptionOutcome, src_id: str) -> None:
+        state = self._by_txid.get(message.txid)
+        if state is None or state.finished:
+            return
+        self._decide(state, message.record, message.status)
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def _decide(self, state: _RecoveryState, record: RecordId, status: OptionStatus) -> None:
+        if record in state.decisions:
+            return
+        state.decisions[record] = status
+        if state.writeset is None:
+            # Still discovering the write-set; wait for a status reply.
+            return
+        if set(state.decisions) >= set(state.writeset):
+            self._finish(state)
+
+    def _finish(self, state: _RecoveryState) -> None:
+        if state.finished:
+            return
+        state.finished = True
+        committed = all(
+            status is OptionStatus.ACCEPTED for status in state.decisions.values()
+        )
+        for record, option in state.options.items():
+            self.broadcast(
+                self.placement.replicas(record),
+                Visibility(option=option, committed=committed),
+            )
+        self.counters.increment(
+            "recovery.committed" if committed else "recovery.aborted"
+        )
+        state.future.try_resolve(committed)

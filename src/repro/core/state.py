@@ -1,0 +1,371 @@
+"""Per-record acceptor state: ballots, cstruct, pending options, bases.
+
+This is the state behind Algorithm 3.  One :class:`RecordState` instance
+lives on each storage node for each record it replicates, and implements:
+
+* the mode decision — is the record's current instance fast or classic
+  (driven by granted :class:`~repro.paxos.ballot.BallotRange` metadata)?
+* ``SetCompatible`` (lines 83-99) — the active accept/reject decision for
+  physical updates (validRead ∧ validSingle) and commutative updates
+  (escrow + quorum demarcation, §3.4.2);
+* ``ApplyVisibility`` (lines 100-103) — executing accepted options, which
+  advances the committed version chain;
+* replica catch-up — applying visibilities that arrive out of order or for
+  proposals this replica never saw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.demarcation import demarcation_limits, escrow_accepts
+from repro.core.options import (
+    CommutativeUpdate,
+    Option,
+    OptionStatus,
+    PhysicalUpdate,
+    ReadValidation,
+)
+from repro.paxos.ballot import Ballot, BallotRange
+from repro.paxos.cstruct import CStruct
+from repro.paxos.multi import MastershipState
+from repro.paxos.quorum import QuorumSpec
+from repro.storage.record import Record
+from repro.storage.schema import TableSchema
+
+__all__ = ["RecordState"]
+
+
+class RecordState:
+    """Everything one storage node knows about one record's protocol state."""
+
+    def __init__(
+        self,
+        record: Record,
+        schema: TableSchema,
+        spec: QuorumSpec,
+        demarcation: bool = True,
+    ) -> None:
+        self.record = record
+        self.schema = schema
+        self.spec = spec
+        self.demarcation = demarcation
+        self.mastership = MastershipState()
+        #: ballot of the most recently accepted cstruct (bal_a).
+        self.accepted_ballot: Optional[Ballot] = None
+        #: the current instance's accepted option structure (val_a).
+        self.cstruct = CStruct()
+        #: option ids whose commit-visibility has been applied (exactly-once).
+        self.executed: set = set()
+        #: option ids whose abort-visibility arrived — *final* rejections.
+        #: (Tentative local ✗ decisions live only in the cstruct statuses;
+        #: a master's classic round may overrule those, but never these.)
+        self.rejected: set = set()
+        #: demarcation base value X per attribute (§3.4.2), set lazily at
+        #: first commutative accept and refreshed by master classic rounds.
+        self.base_values: Dict[str, float] = {}
+        #: physical visibilities waiting for an earlier version (vread -> option)
+        self._deferred_physical: Dict[int, Option] = {}
+        #: commutative visibilities waiting for the record to exist
+        self._deferred_deltas: List[Option] = []
+
+    # ------------------------------------------------------------------
+    # Mode / ballot queries
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Committed version = the record's current Paxos instance number."""
+        return self.record.current_version
+
+    def effective_range(self) -> BallotRange:
+        return self.mastership.effective_range(self.version)
+
+    def effective_ballot(self) -> Ballot:
+        return self.mastership.effective_ballot(self.version)
+
+    @property
+    def is_fast(self) -> bool:
+        return self.effective_ballot().fast
+
+    # ------------------------------------------------------------------
+    # Pending bookkeeping
+    # ------------------------------------------------------------------
+    def pending_options(self) -> List[Option]:
+        """Accepted options whose visibility has not yet arrived."""
+        return [
+            option
+            for option in self.cstruct
+            if option.status is OptionStatus.ACCEPTED
+            and option.option_id not in self.executed
+            and option.option_id not in self.rejected
+        ]
+
+    def has_pending(self) -> bool:
+        return bool(self.pending_options())
+
+    def has_pending_physical(self) -> bool:
+        """Any pending option a commutative delta cannot slide past: a
+        physical write (changes the whole record) or a read validation
+        (a delta's execution would invalidate the validated read)."""
+        return any(not option.is_commutative for option in self.pending_options())
+
+    def pending_deltas(self, attribute: str) -> List[float]:
+        out = []
+        for option in self.pending_options():
+            if option.is_commutative:
+                delta = option.update.delta_for(attribute)
+                if delta != 0.0:
+                    out.append(delta)
+        return out
+
+    # ------------------------------------------------------------------
+    # SetCompatible (Algorithm 3, lines 83-99)
+    # ------------------------------------------------------------------
+    def decide(self, option: Option, classic_mode: bool = False) -> OptionStatus:
+        """The active accept/reject decision for a newly proposed option.
+
+        ``classic_mode`` relaxes the demarcation slack to plain escrow: in
+        a classic ballot the chosen cstruct requires identical votes from a
+        classic quorum, so local-order divergence — the reason demarcation
+        exists — cannot occur.
+        """
+        if option.option_id in self.executed:
+            return OptionStatus.ACCEPTED  # idempotent re-delivery
+        if option.option_id in self.rejected:
+            return OptionStatus.REJECTED
+        if isinstance(option.update, CommutativeUpdate):
+            return self._decide_commutative(option.update, classic_mode)
+        if isinstance(option.update, ReadValidation):
+            return self._decide_validation(option.update)
+        return self._decide_physical(option.update)
+
+    def _decide_physical(self, update: PhysicalUpdate) -> OptionStatus:
+        valid_read = update.vread == self.record.current_version
+        valid_single = not self.has_pending()
+        valid_value = update.is_delete or self.schema.check_value(update.new_value)
+        if valid_read and valid_single and valid_value:
+            return OptionStatus.ACCEPTED
+        return OptionStatus.REJECTED
+
+    def _decide_validation(self, update: ReadValidation) -> OptionStatus:
+        """OCC read-set check (§4.4): the read is still current and no
+        state-changing option could invalidate it before visibility.
+        Pending validations do not conflict — reads never block reads."""
+        valid_read = update.vread == self.record.current_version
+        valid_single = all(o.is_validation for o in self.pending_options())
+        if valid_read and valid_single:
+            return OptionStatus.ACCEPTED
+        return OptionStatus.REJECTED
+
+    def _decide_commutative(
+        self, update: CommutativeUpdate, classic_mode: bool
+    ) -> OptionStatus:
+        if not self.record.exists:
+            return OptionStatus.REJECTED
+        if self.has_pending_physical():
+            # Deltas do not commute with an in-flight physical write.
+            return OptionStatus.REJECTED
+        snapshot = self.record.snapshot()
+        # In classic mode the full escrow window is available (fast quorum
+        # slack collapses to zero: N - N = 0).  Disabling demarcation
+        # (ablation) also collapses the slack — leaving the unsafe plain
+        # escrow the paper's Figure 2 warns about.
+        use_plain_escrow = classic_mode or not self.demarcation
+        effective_fast_quorum = self.spec.n if use_plain_escrow else self.spec.fast_size
+        for attribute, delta in update.deltas:
+            constraint = self.schema.constraint(attribute)
+            if constraint is None:
+                continue
+            current = snapshot.attribute(attribute, 0)
+            if not isinstance(current, (int, float)):
+                return OptionStatus.REJECTED
+            base = self.base_values.setdefault(attribute, float(current))
+            limits = demarcation_limits(
+                self.spec.n, effective_fast_quorum, base, constraint
+            )
+            if not escrow_accepts(
+                float(current), self.pending_deltas(attribute), delta, limits
+            ):
+                return OptionStatus.REJECTED
+        return OptionStatus.ACCEPTED
+
+    # ------------------------------------------------------------------
+    # Acceptance paths
+    # ------------------------------------------------------------------
+    def accept_fast(self, option: Option) -> Option:
+        """Phase2bFast (lines 78-82): decide, append, return ω(up, status)."""
+        if self.cstruct.contains_id(option.option_id):
+            return self.cstruct.command(option.option_id)  # duplicate propose
+        decided = option.with_status(self.decide(option))
+        self.cstruct = self.cstruct.append(decided)
+        if self.accepted_ballot is None or self.effective_ballot() > self.accepted_ballot:
+            self.accepted_ballot = self.effective_ballot()
+        return decided
+
+    def adopt(self, proposed: CStruct, ballot: Ballot, classic_mode: bool = True) -> CStruct:
+        """Phase2bClassic (lines 72-77): vala ← v, then SetCompatible.
+
+        Options arriving with a decided status keep it (the master's
+        arbitration is authoritative); PENDING options are decided locally;
+        options this replica already executed stay executed.
+
+        Decisions are made *incrementally*: each PENDING option is
+        validated against the partially adopted cstruct, so two conflicting
+        options in the same proposal cannot both pass validSingle.
+        """
+        adopted: List[Option] = []
+        for option in proposed:
+            # Make earlier options of this proposal visible to decide().
+            self.cstruct = CStruct(adopted)
+            if option.option_id in self.executed:
+                adopted.append(option.with_status(OptionStatus.ACCEPTED))
+            elif option.option_id in self.rejected:
+                # Abort-visibility already applied: final, never resurrected.
+                adopted.append(option.with_status(OptionStatus.REJECTED))
+            elif option.status is OptionStatus.PENDING:
+                adopted.append(option.with_status(self.decide(option, classic_mode)))
+            else:
+                adopted.append(option)
+        self.cstruct = CStruct(adopted)
+        self.accepted_ballot = ballot
+        return self.cstruct
+
+    # ------------------------------------------------------------------
+    # ApplyVisibility (lines 100-103)
+    # ------------------------------------------------------------------
+    def apply_visibility(self, option: Option, committed: bool) -> bool:
+        """Execute or discard an option; returns True if state changed."""
+        if option.option_id in self.executed:
+            return False
+        if not committed:
+            return self._mark_rejected(option)
+        if isinstance(option.update, CommutativeUpdate):
+            return self._execute_commutative(option)
+        if isinstance(option.update, ReadValidation):
+            return self._execute_validation(option)
+        return self._execute_physical(option)
+
+    def _execute_validation(self, option: Option) -> bool:
+        """A committed read validation executes as a no-op: it asserted
+        state, it does not change it.  The committed version chain does not
+        advance — concurrent validated readers all commit against the same
+        version."""
+        self.executed.add(option.option_id)
+        self.rejected.discard(option.option_id)
+        self._drop_from_cstruct(option.option_id)
+        return True
+
+    def _mark_rejected(self, option: Option) -> bool:
+        self.rejected.add(option.option_id)
+        if self.cstruct.contains_id(option.option_id):
+            self.cstruct = self.cstruct.replace(
+                option.with_status(OptionStatus.REJECTED)
+            )
+        return True
+
+    def _execute_commutative(self, option: Option) -> bool:
+        if option.option_id in self.record.applied_ids:
+            # Already folded into this replica's value via catch-up; the
+            # late visibility must not re-apply the delta.
+            self.executed.add(option.option_id)
+            self.rejected.discard(option.option_id)
+            self._drop_from_cstruct(option.option_id)
+            return False
+        if not self.record.exists:
+            # Replica missed the insert; defer until the record appears.
+            self._deferred_deltas.append(option)
+            return False
+        update: CommutativeUpdate = option.update
+        first = True
+        for attribute, delta in update.deltas:
+            self.record.commit_delta(
+                attribute, delta, option_id=option.option_id if first else None
+            )
+            first = False
+        self.executed.add(option.option_id)
+        self.rejected.discard(option.option_id)
+        self._drop_from_cstruct(option.option_id)
+        return True
+
+    def _execute_physical(self, option: Option) -> bool:
+        update: PhysicalUpdate = option.update
+        current = self.record.current_version
+        if current > update.vread:
+            # Already superseded here (applied earlier or caught up).
+            self.executed.add(option.option_id)
+            self._drop_from_cstruct(option.option_id)
+            return False
+        if current < update.vread:
+            # Missed an earlier commit; hold until the gap fills.
+            self._deferred_physical[update.vread] = option
+            return False
+        if update.is_delete:
+            self.record.commit_delete(option_id=option.option_id)
+        else:
+            self.record.commit_value(update.new_value, option_id=option.option_id)
+        self.executed.add(option.option_id)
+        self._close_era()
+        self._drain_deferred()
+        return True
+
+    def catch_up(
+        self,
+        version: int,
+        value: Optional[Dict[str, object]],
+        applied_ids: tuple = (),
+    ) -> bool:
+        """Adopt authoritative committed state from the master.
+
+        ``applied_ids`` — the option ids folded into the adopted value —
+        become executed here, so their late visibilities are no-ops."""
+        changed = self.record.catch_up(version, value, applied_ids=applied_ids)
+        if changed:
+            for option_id in applied_ids:
+                self.executed.add(option_id)
+                self.rejected.discard(option_id)
+                self._drop_from_cstruct(option_id)
+            self._close_era()
+            self._drain_deferred()
+        return changed
+
+    def refresh_base(self, new_base: Optional[Dict[str, float]] = None) -> None:
+        """Set demarcation bases (master classic round writes a new base)."""
+        if new_base is None:
+            self.base_values = {}
+            return
+        self.base_values = dict(new_base)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _close_era(self) -> None:
+        """A physical commit closed the instance: drop decided options and
+        reset demarcation bases to the new committed value (lazily)."""
+        survivors = [
+            option
+            for option in self.cstruct
+            if option.status is OptionStatus.ACCEPTED
+            and option.option_id not in self.executed
+        ]
+        self.cstruct = CStruct(survivors)
+        self.base_values = {}
+
+    def _drop_from_cstruct(self, option_id: str) -> None:
+        remaining = [o for o in self.cstruct if o.option_id != option_id]
+        if len(remaining) != len(self.cstruct):
+            self.cstruct = CStruct(remaining)
+
+    def _drain_deferred(self) -> None:
+        # Physical options whose read version has now been reached.
+        progressed = True
+        while progressed:
+            progressed = False
+            pending = self._deferred_physical.pop(self.record.current_version, None)
+            if pending is not None and pending.option_id not in self.executed:
+                if self._execute_physical(pending):
+                    progressed = True
+        if self.record.exists and self._deferred_deltas:
+            deferred, self._deferred_deltas = self._deferred_deltas, []
+            for option in deferred:
+                if option.option_id not in self.executed:
+                    self._execute_commutative(option)

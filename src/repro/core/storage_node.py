@@ -1,0 +1,312 @@
+"""The MDCC storage node: acceptor role (Algorithm 3) + hosted masters.
+
+A storage node replicates a set of records (one partition of every table in
+its data center), stores their committed version chains, participates in
+the per-record Paxos instances, and — when the placement policy says so —
+acts as the master for records whose master data center it lives in.
+
+Handlers map one-to-one onto Algorithm 3's ``ReceiveAcceptorMessage``:
+
+* ``ProposeFast``   → Phase2bFast (lines 78-82): decide & append in the
+  current fast ballot, reply to the proposing learner.  In a classic era
+  the proposal is *forwarded* to the record's master instead — this is how
+  coordinators with stale mode hints are transparently redirected.
+* ``MPhase1a``      → Phase1b (lines 68-71).
+* ``MPhase2a``      → Phase2bClassic (lines 72-77).
+* ``Visibility``    → ApplyVisibility (lines 100-103).
+* ``ReadRequest``   → committed-state read with mode/master hints.
+* ``StatusRequest`` → dangling-transaction reconstruction (§3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import MDCCConfig
+from repro.core.master import MasterRole
+from repro.core.messages import (
+    CatchUp,
+    FastReply,
+    MPhase1a,
+    MPhase1b,
+    MPhase2a,
+    MPhase2b,
+    ProposeClassic,
+    ProposeFast,
+    ReadReply,
+    ReadRequest,
+    RepairProbe,
+    RepairReply,
+    StartRecovery,
+    StatusReply,
+    StatusRequest,
+    Visibility,
+    VisibilityBatch,
+)
+from repro.core.options import Option, OptionStatus, RecordId
+from repro.core.state import RecordState
+from repro.core.topology import ReplicaMap
+from repro.sim.core import Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.storage.store import RecordStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["MDCCStorageNode"]
+
+
+class MDCCStorageNode(Node):
+    """One simulated storage server of the MDCC deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.spec = config.quorums
+        self.counters = counters if counters is not None else CounterSet()
+        self.store = RecordStore()
+        self.wal = WriteAheadLog()
+        self.master = MasterRole(self, config)
+        self._states: Dict[RecordId, RecordState] = {}
+        #: all options ever seen, for status queries and recovery.
+        self._option_log: Dict[str, Option] = {}
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    def record_state(self, record: RecordId) -> RecordState:
+        if record not in self._states:
+            self._states[record] = RecordState(
+                record=self.store.record(record.table, record.key),
+                schema=self.store.schema(record.table),
+                spec=self.spec,
+                demarcation=self.config.demarcation_enabled,
+            )
+        return self._states[record]
+
+    def is_master_for(self, record: RecordId) -> bool:
+        return self.placement.master_node(record) == self.node_id
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def handle_propose_fast(self, message: ProposeFast, src_id: str) -> None:
+        option = message.option
+        state = self.record_state(option.record)
+        if not state.is_fast or not self.config.fast_ballots_enabled:
+            # Classic era: redirect to the master (dedup happens there).
+            self.counters.increment("acceptor.forwarded_to_master")
+            self.send(
+                self.placement.master_node(option.record),
+                ProposeClassic(option=option, reply_to=message.reply_to),
+            )
+            return
+        decided = state.accept_fast(option)
+        self._option_log[option.option_id] = decided
+        self.wal.append(
+            "option-learned",
+            option_id=decided.option_id,
+            txid=decided.txid,
+            status=decided.status.value,
+            writeset=[str(r) for r in decided.writeset],
+        )
+        self.counters.increment("acceptor.fast_proposals")
+        self.send(
+            message.reply_to,
+            FastReply(
+                option_id=decided.option_id,
+                txid=decided.txid,
+                record=decided.record,
+                status=decided.status,
+                committed_version=state.version,
+                is_fast_era=True,
+                master_hint=self.placement.master_node(option.record),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Classic path (acceptor side)
+    # ------------------------------------------------------------------
+    def handle_m_phase1a(self, message: MPhase1a, src_id: str) -> None:
+        state = self.record_state(message.record)
+        granted = state.mastership.grant(message.grant)
+        snapshot = state.record.snapshot()
+        self.send(
+            src_id,
+            MPhase1b(
+                record=message.record,
+                ballot=message.ballot,
+                granted=granted,
+                promised=state.effective_ballot(),
+                accepted_ballot=state.accepted_ballot,
+                cstruct=state.cstruct if len(state.cstruct) else None,
+                committed_version=snapshot.version,
+                committed_value=snapshot.value,
+                applied_ids=tuple(state.record.applied_ids),
+            ),
+        )
+        self.counters.increment("acceptor.phase1b")
+
+    def handle_m_phase2a(self, message: MPhase2a, src_id: str) -> None:
+        state = self.record_state(message.record)
+        effective = state.effective_ballot()
+        if message.ballot < effective:
+            self.send(
+                src_id,
+                MPhase2b(
+                    record=message.record,
+                    ballot=message.ballot,
+                    accepted=False,
+                    cstruct=None,
+                    committed_version=state.version,
+                ),
+            )
+            return
+        adopted = state.adopt(message.cstruct, message.ballot)
+        for option in adopted:
+            self._option_log.setdefault(option.option_id, option)
+        if message.new_base is not None:
+            state.refresh_base(message.new_base)
+        if message.post_grant is not None:
+            state.mastership.grant(message.post_grant)
+        self.wal.append(
+            "classic-adopt",
+            record=str(message.record),
+            ballot=repr(message.ballot),
+            options=[o.option_id for o in adopted],
+        )
+        self.counters.increment("acceptor.phase2b_classic")
+        self.send(
+            src_id,
+            MPhase2b(
+                record=message.record,
+                ballot=message.ballot,
+                accepted=True,
+                cstruct=adopted,
+                committed_version=state.version,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Visibility / catch-up
+    # ------------------------------------------------------------------
+    def handle_visibility(self, message: Visibility, src_id: str) -> None:
+        state = self.record_state(message.option.record)
+        self._option_log.setdefault(message.option.option_id, message.option)
+        changed = state.apply_visibility(message.option, message.committed)
+        self.wal.append(
+            "visibility",
+            option_id=message.option.option_id,
+            committed=message.committed,
+            applied=changed,
+        )
+        self.counters.increment(
+            "acceptor.visibility_commit" if message.committed else "acceptor.visibility_abort"
+        )
+
+    def handle_visibility_batch(self, message: VisibilityBatch, src_id: str) -> None:
+        """Unpack a §7 visibility batch: identical to delivering each
+        visibility individually, in order."""
+        for visibility in message.visibilities:
+            self.handle_visibility(visibility, src_id)
+
+    def handle_catch_up(self, message: CatchUp, src_id: str) -> None:
+        state = self.record_state(message.record)
+        value = message.value if message.exists else None
+        if state.catch_up(message.version, value, applied_ids=message.applied_ids):
+            self.counters.increment("acceptor.caught_up")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def handle_read_request(self, message: ReadRequest, src_id: str) -> None:
+        record = RecordId(message.table, message.key)
+        state = self.record_state(record)
+        snapshot = state.record.snapshot()
+        self.counters.increment("acceptor.reads")
+        self.send(
+            src_id,
+            ReadReply(
+                request_id=message.request_id,
+                table=message.table,
+                key=message.key,
+                exists=snapshot.exists,
+                value=snapshot.value,
+                version=snapshot.version,
+                is_fast_era=state.is_fast,
+                master_hint=self.placement.master_node(record),
+            ),
+        )
+
+    def handle_repair_probe(self, message: RepairProbe, src_id: str) -> None:
+        """Anti-entropy probe: committed state plus the applied-id set."""
+        state = self.record_state(message.record)
+        snapshot = state.record.snapshot()
+        self.counters.increment("acceptor.repair_probes")
+        self.send(
+            src_id,
+            RepairReply(
+                request_id=message.request_id,
+                record=message.record,
+                exists=snapshot.exists,
+                value=snapshot.value,
+                version=snapshot.version,
+                applied_ids=tuple(state.record.applied_ids),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Dangling-transaction status (§3.2.3)
+    # ------------------------------------------------------------------
+    def handle_status_request(self, message: StatusRequest, src_id: str) -> None:
+        state = self.record_state(message.record)
+        option_id = f"{message.txid}:{message.record}"
+        option = self._option_log.get(option_id)
+        status: Optional[OptionStatus] = None
+        executed = option_id in state.executed
+        if option is not None:
+            if executed:
+                status = OptionStatus.ACCEPTED
+            elif option_id in state.rejected:
+                status = OptionStatus.REJECTED
+            else:
+                in_cstruct = state.cstruct.command(option_id)
+                status = in_cstruct.status if in_cstruct is not None else option.status
+        self.send(
+            src_id,
+            StatusReply(
+                request_id=message.request_id,
+                txid=message.txid,
+                record=message.record,
+                known=option is not None,
+                status=status,
+                executed=executed,
+                option=option,
+                writeset=option.writeset if option is not None else (),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Master-role delegation
+    # ------------------------------------------------------------------
+    def handle_propose_classic(self, message: ProposeClassic, src_id: str) -> None:
+        self.master.on_propose(message, src_id)
+
+    def handle_start_recovery(self, message: StartRecovery, src_id: str) -> None:
+        self.master.on_start_recovery(message, src_id)
+
+    def handle_m_phase1b(self, message: MPhase1b, src_id: str) -> None:
+        self.master.on_phase1b(message, src_id)
+
+    def handle_m_phase2b(self, message: MPhase2b, src_id: str) -> None:
+        self.master.on_phase2b(message, src_id)

@@ -1,0 +1,113 @@
+"""Replica placement and master policies.
+
+Deployment mirrors §5.1: "Each data center has a full replica of the data,
+and within a data center, each table is range partitioned by key, and
+distributed across several storage nodes."  A record therefore has one
+replica per data center, hosted on the storage node that owns its
+partition there.
+
+Master policies (§2: "MDCC supports an individual master per record"):
+
+* ``hash`` — each record's master data center is chosen by key hash,
+  spreading mastership uniformly (the evaluation's Multi setup: "masters
+  being uniformly distributed across all the data centers", §5.3.1).
+* ``fixed:<dc>`` — all masters in one data center (the Megastore*-style
+  setup, and the paper's insert default of one master per table).
+* ``table`` — the table schema's ``default_master_dc``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.options import RecordId
+from repro.paxos.quorum import QuorumSpec
+from repro.storage.partition import stable_hash
+
+__all__ = ["ReplicaMap"]
+
+
+class ReplicaMap:
+    """Maps records to replica storage nodes and master data centers."""
+
+    def __init__(
+        self,
+        datacenters: Sequence[str],
+        partitions_per_table: int = 1,
+        master_policy: str = "hash",
+        table_master_dc: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not datacenters:
+            raise ValueError("need at least one data center")
+        if partitions_per_table < 1:
+            raise ValueError("need at least one partition")
+        self.datacenters: Tuple[str, ...] = tuple(datacenters)
+        self.partitions_per_table = partitions_per_table
+        self.master_policy = master_policy
+        self.table_master_dc = dict(table_master_dc or {})
+        if master_policy.startswith("fixed:"):
+            fixed_dc = master_policy.split(":", 1)[1]
+            if fixed_dc not in self.datacenters:
+                raise ValueError(f"unknown fixed master DC {fixed_dc!r}")
+        elif master_policy not in ("hash", "table"):
+            raise ValueError(f"unknown master policy {master_policy!r}")
+
+    # ------------------------------------------------------------------
+    # Node naming and placement
+    # ------------------------------------------------------------------
+    @staticmethod
+    def storage_node_id(dc: str, partition: int) -> str:
+        return f"store-{dc}-p{partition}"
+
+    def all_storage_node_ids(self) -> List[str]:
+        return [
+            self.storage_node_id(dc, p)
+            for dc in self.datacenters
+            for p in range(self.partitions_per_table)
+        ]
+
+    def partition_of(self, table: str, key: str) -> int:
+        return stable_hash(f"{table}:{key}") % self.partitions_per_table
+
+    def replicas(self, record: RecordId) -> List[str]:
+        """One storage node per data center, in data-center order."""
+        partition = self.partition_of(record.table, record.key)
+        return [self.storage_node_id(dc, partition) for dc in self.datacenters]
+
+    def replica_in(self, record: RecordId, dc: str) -> str:
+        partition = self.partition_of(record.table, record.key)
+        return self.storage_node_id(dc, partition)
+
+    @property
+    def replication(self) -> int:
+        return len(self.datacenters)
+
+    def quorums(self) -> QuorumSpec:
+        return QuorumSpec.for_replication(self.replication)
+
+    # ------------------------------------------------------------------
+    # Mastership
+    # ------------------------------------------------------------------
+    def master_dc(self, record: RecordId) -> str:
+        if self.master_policy.startswith("fixed:"):
+            return self.master_policy.split(":", 1)[1]
+        if self.master_policy == "table":
+            dc = self.table_master_dc.get(record.table)
+            if dc is None:
+                raise ValueError(f"no default master DC for table {record.table!r}")
+            return dc
+        index = stable_hash(f"master:{record.table}:{record.key}") % len(
+            self.datacenters
+        )
+        return self.datacenters[index]
+
+    def master_node(self, record: RecordId) -> str:
+        return self.replica_in(record, self.master_dc(record))
+
+    def master_candidates(self, record: RecordId) -> List[str]:
+        """Failover order: the record's master first, then the other
+        replicas in data-center order (any node can take over mastership,
+        §3.2.3)."""
+        primary = self.master_node(record)
+        rest = [node for node in self.replicas(record) if node != primary]
+        return [primary] + rest

@@ -1,0 +1,15 @@
+"""Cluster assembly and the stateless DB library (client side).
+
+* :mod:`repro.db.cluster` — builds a five-data-center deployment of any
+  protocol under test (MDCC variants, 2PC, quorum writes, Megastore*).
+* :mod:`repro.db.client` — the transaction API used by workloads: read /
+  write / delete / delta, then commit.
+* :mod:`repro.db.reads` — read strategies of §4.2: local (default), quorum
+  (latest), pseudo-master.
+* :mod:`repro.db.checkers` — post-simulation consistency auditors.
+"""
+
+from repro.db.client import Transaction
+from repro.db.cluster import Cluster, build_cluster
+
+__all__ = ["Cluster", "Transaction", "build_cluster"]

@@ -1,0 +1,142 @@
+"""The DB library's transaction API.
+
+"All higher-level functionality (such as query processing and transaction
+management) is provided through a stateless DB library, which can be
+deployed at the application server" (§2).  :class:`Transaction` is that
+library's programming model: buffered reads and writes against one
+app-server node, committed through whatever protocol the node implements.
+
+The same API drives every protocol in the evaluation; only the hosting
+node's ``read``/``commit`` implementations differ.  This mirrors the
+paper's methodology — all baselines are "implemented ... using the same
+distributed store, and accessed by the same clients" (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.coordinator import WriteSet
+from repro.core.options import RecordId
+from repro.sim.core import Future
+
+__all__ = ["Transaction"]
+
+
+class Transaction:
+    """One transaction: read-version tracking + buffered write-set.
+
+    Reads record the version they saw; writes are guarded by it (v_read →
+    v_write, §3.2.1).  ``decrement``/``increment`` become commutative
+    updates when the protocol supports them, else version-guarded physical
+    read-modify-writes — this is exactly the difference between the
+    evaluation's MDCC and Fast configurations (§5.3.1).
+    """
+
+    def __init__(self, client, commutative: bool, serializable: bool = False) -> None:
+        self._client = client
+        self._commutative = commutative
+        #: whether deltas are proposed commutatively (read-only, public).
+        self.commutative = commutative
+        #: whether commit validates the read-set (§4.4 serializability).
+        self.serializable = serializable
+        self._writeset = WriteSet()
+        self._read_versions: Dict[RecordId, int] = {}
+        self._read_values: Dict[RecordId, Optional[Dict[str, object]]] = {}
+        self._committed: Optional[Future] = None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, table: str, key: str) -> Future:
+        """Read committed state; resolves with the reply (value/version).
+
+        The observed version is cached to guard subsequent writes.
+        """
+        future = self._client.read(table, key)
+        record = RecordId(table, key)
+
+        def remember(fut: Future) -> None:
+            reply = fut.result()
+            self._read_versions[record] = reply.version
+            self._read_values[record] = dict(reply.value) if reply.value else None
+
+        future.add_done_callback(remember)
+        return future
+
+    def observed_version(self, table: str, key: str) -> int:
+        """The version this transaction read for (table, key); 0 if unread."""
+        return self._read_versions.get(RecordId(table, key), 0)
+
+    def observed_value(self, table: str, key: str) -> Optional[Dict[str, object]]:
+        return self._read_values.get(RecordId(table, key))
+
+    # ------------------------------------------------------------------
+    # Writes (buffered)
+    # ------------------------------------------------------------------
+    def write(self, table: str, key: str, value: Dict[str, object]) -> None:
+        """Full-record write, guarded by the read version (insert if unread
+        and the record was observed absent)."""
+        self._writeset.put(table, key, self.observed_version(table, key), value)
+
+    def insert(self, table: str, key: str, value: Dict[str, object]) -> None:
+        """Blind insert: succeeds only if the record does not exist."""
+        self._writeset.put(table, key, 0, value)
+
+    def delete(self, table: str, key: str) -> None:
+        self._writeset.delete(table, key, self.observed_version(table, key))
+
+    def update_attr(self, table: str, key: str, attribute: str, delta: float) -> None:
+        """Add ``delta`` to a numeric attribute.
+
+        Commutative protocols propose the delta itself; others fall back to
+        a version-guarded physical read-modify-write using the transaction's
+        cached read (which must exist in that case).
+        """
+        if self._commutative:
+            self._writeset.add_delta(table, key, **{attribute: delta})
+            return
+        record = RecordId(table, key)
+        if record not in self._read_values:
+            raise ValueError(
+                f"non-commutative update of {record} requires a prior read"
+            )
+        value = dict(self._read_values[record] or {})
+        current = value.get(attribute, 0)
+        if not isinstance(current, (int, float)):
+            raise ValueError(f"attribute {attribute!r} is not numeric")
+        value[attribute] = current + delta
+        self._writeset.put(table, key, self._read_versions[record], value)
+
+    def decrement(self, table: str, key: str, attribute: str, amount: float) -> None:
+        self.update_attr(table, key, attribute, -amount)
+
+    def increment(self, table: str, key: str, attribute: str, amount: float) -> None:
+        self.update_attr(table, key, attribute, amount)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    @property
+    def writeset(self) -> WriteSet:
+        return self._writeset
+
+    def commit(self, txid: Optional[str] = None) -> Future:
+        """Run the host protocol's commit; resolves with a
+        :class:`~repro.core.coordinator.TransactionOutcome`.
+
+        In serializable mode every record this transaction read — and did
+        not write — is added to the proposal as a read validation: the
+        commit succeeds only if those reads are still current (§4.4).
+        Commutative deltas are blind writes and are not read-validated;
+        use a physical write where the read value must still hold.
+        """
+        if self._committed is not None:
+            raise RuntimeError("transaction already committed")
+        if self.serializable:
+            written = set(self._writeset.updates)
+            for record, vread in self._read_versions.items():
+                if record not in written:
+                    self._writeset.validate_read(record.table, record.key, vread)
+        self._committed = self._client.commit(self._writeset, txid)
+        return self._committed

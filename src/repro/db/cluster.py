@@ -1,0 +1,330 @@
+"""Cluster builder: a five-data-center deployment of any protocol.
+
+Builds the simulation substrate (network + storage nodes + app servers)
+for the protocol under test and pre-loads tables, mirroring the paper's
+setup (§5.1): every data center holds a full replica, tables are
+partitioned across storage nodes within a data center, and clients are
+app-server nodes in a chosen data center.
+
+Protocols:
+
+* ``mdcc`` / ``fast`` / ``multi`` — the MDCC engine in its three
+  configurations (§5.3.1).
+* ``2pc`` — two-phase commit (:mod:`repro.protocols.twopc`).
+* ``qw3`` / ``qw4`` — quorum writes (:mod:`repro.protocols.quorumwrites`).
+* ``megastore`` — Megastore* (:mod:`repro.protocols.megastore`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.core.coordinator import MDCCCoordinator
+from repro.core.options import RecordId
+from repro.core.recovery import RecoveryAgent
+from repro.core.storage_node import MDCCStorageNode
+from repro.core.topology import ReplicaMap
+from repro.db.client import Transaction
+from repro.sim.core import Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import EC2_REGIONS, LatencyModel, Network
+from repro.sim.rng import RngRegistry
+from repro.storage.schema import TableSchema
+
+__all__ = ["Cluster", "build_cluster", "PROTOCOLS"]
+
+PROTOCOLS = ("mdcc", "fast", "multi", "2pc", "qw3", "qw4", "megastore")
+
+_VARIANTS = {
+    "mdcc": ProtocolVariant.MDCC,
+    "fast": ProtocolVariant.FAST,
+    "multi": ProtocolVariant.MULTI,
+}
+
+
+class Cluster:
+    """A running deployment: substrate + storage nodes + app servers."""
+
+    def __init__(
+        self,
+        protocol: str,
+        sim: Simulator,
+        network: Network,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: CounterSet,
+        rng: RngRegistry,
+    ) -> None:
+        self.protocol = protocol
+        self.sim = sim
+        self.network = network
+        self.placement = placement
+        self.config = config
+        self.counters = counters
+        self.rng = rng
+        self.storage_nodes: Dict[str, object] = {}
+        self.clients: List[object] = []
+        self._client_seq = itertools.count(1)
+        self._schemas: List[TableSchema] = []
+
+    # ------------------------------------------------------------------
+    # Tables and data
+    # ------------------------------------------------------------------
+    def register_table(self, schema: TableSchema) -> None:
+        """Register ``schema`` on every storage node."""
+        self._schemas.append(schema)
+        for node in self.storage_nodes.values():
+            node.store.register_table(schema)
+
+    def load_record(self, table: str, key: str, value: Dict[str, object]) -> None:
+        """Pre-load a committed record (version 1) on all replicas."""
+        record = RecordId(table, key)
+        for node_id in self.placement.replicas(record):
+            node = self.storage_nodes[node_id]
+            node.store.record(table, key).commit_value(value)
+
+    def read_committed(self, table: str, key: str, dc: Optional[str] = None):
+        """Directly inspect a replica's committed snapshot (no messages)."""
+        record = RecordId(table, key)
+        dc = dc or self.placement.datacenters[0]
+        node = self.storage_nodes[self.placement.replica_in(record, dc)]
+        return node.store.read(table, key)
+
+    def committed_snapshots(self, table: str, key: str):
+        """The committed snapshot at every replica (for convergence checks)."""
+        record = RecordId(table, key)
+        return {
+            node_id: self.storage_nodes[node_id].store.read(table, key)
+            for node_id in self.placement.replicas(record)
+        }
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def add_client(self, dc: str, name: Optional[str] = None):
+        """Create an app-server node in ``dc`` speaking this protocol."""
+        node_id = name or f"app-{dc}-{next(self._client_seq)}"
+        client = self._make_client(node_id, dc)
+        self.clients.append(client)
+        return client
+
+    def _make_client(self, node_id: str, dc: str):
+        if self.protocol in _VARIANTS:
+            return MDCCCoordinator(
+                self.sim,
+                self.network,
+                node_id,
+                dc,
+                placement=self.placement,
+                config=self.config,
+                counters=self.counters,
+            )
+        if self.protocol == "2pc":
+            from repro.protocols.twopc import TwoPCCoordinator
+
+            return TwoPCCoordinator(
+                self.sim,
+                self.network,
+                node_id,
+                dc,
+                placement=self.placement,
+                config=self.config,
+                counters=self.counters,
+            )
+        if self.protocol in ("qw3", "qw4"):
+            from repro.protocols.quorumwrites import QuorumWriteClient
+
+            write_quorum = 3 if self.protocol == "qw3" else 4
+            return QuorumWriteClient(
+                self.sim,
+                self.network,
+                node_id,
+                dc,
+                placement=self.placement,
+                config=self.config,
+                counters=self.counters,
+                write_quorum=write_quorum,
+            )
+        if self.protocol == "megastore":
+            from repro.protocols.megastore import MegastoreClient
+
+            return MegastoreClient(
+                self.sim,
+                self.network,
+                node_id,
+                dc,
+                placement=self.placement,
+                config=self.config,
+                counters=self.counters,
+            )
+        raise ValueError(f"unknown protocol {self.protocol!r}")
+
+    def add_recovery_agent(self, dc: str, name: Optional[str] = None) -> RecoveryAgent:
+        node_id = name or f"recovery-{dc}-{next(self._client_seq)}"
+        return RecoveryAgent(
+            self.sim,
+            self.network,
+            node_id,
+            dc,
+            placement=self.placement,
+            config=self.config,
+            counters=self.counters,
+        )
+
+    def add_anti_entropy_agent(self, dc: str, name: Optional[str] = None):
+        """A background replica-repair process (post-outage catch-up)."""
+        from repro.core.antientropy import AntiEntropyAgent
+
+        node_id = name or f"antientropy-{dc}-{next(self._client_seq)}"
+        return AntiEntropyAgent(
+            self.sim,
+            self.network,
+            node_id,
+            dc,
+            placement=self.placement,
+            config=self.config,
+            counters=self.counters,
+        )
+
+    def begin(self, client, serializable: bool = False) -> Transaction:
+        """Start a transaction on ``client`` (an app-server node).
+
+        ``serializable=True`` enables §4.4 read-set validation on commit —
+        supported by the MDCC variants and 2PC (both validate versions at
+        the storage nodes); the eventually consistent and Megastore*
+        baselines have no machinery for it.
+        """
+        if serializable and self.protocol not in (*_VARIANTS, "2pc"):
+            raise ValueError(
+                f"protocol {self.protocol!r} does not support serializable "
+                "transactions"
+            )
+        commutative = (
+            self.protocol in _VARIANTS and self.config.commutative_enabled
+        )
+        return Transaction(
+            client, commutative=commutative, serializable=serializable
+        )
+
+    # ------------------------------------------------------------------
+    # Failure injection passthroughs
+    # ------------------------------------------------------------------
+    def fail_datacenter(self, dc: str) -> None:
+        self.network.fail_datacenter(dc)
+
+    def recover_datacenter(self, dc: str) -> None:
+        self.network.recover_datacenter(dc)
+
+
+def build_cluster(
+    protocol: str = "mdcc",
+    datacenters: Sequence[str] = EC2_REGIONS,
+    partitions_per_table: int = 1,
+    master_policy: str = "hash",
+    table_master_dc: Optional[Dict[str, str]] = None,
+    seed: int = 0,
+    jitter_sigma: float = 0.06,
+    config: Optional[MDCCConfig] = None,
+    rtt_matrix=None,
+) -> Cluster:
+    """Assemble a full deployment of ``protocol`` over ``datacenters``."""
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
+    if protocol == "megastore" and partitions_per_table != 1:
+        # The paper's Megastore* places all data in a single entity group
+        # ("we placed all data into a single entity group", §5.2): one log.
+        raise ValueError("megastore uses a single entity group: 1 partition")
+    rng = RngRegistry(seed=seed)
+    sim = Simulator()
+    latency = LatencyModel(
+        rtt_matrix=rtt_matrix, jitter_sigma=jitter_sigma, rng_registry=rng
+    )
+    network = Network(sim, latency_model=latency, rng_registry=rng)
+    placement = ReplicaMap(
+        datacenters,
+        partitions_per_table=partitions_per_table,
+        master_policy=master_policy,
+        table_master_dc=table_master_dc,
+    )
+    if config is None:
+        config = MDCCConfig(
+            replication=len(placement.datacenters),
+            variant=_VARIANTS.get(protocol, ProtocolVariant.MDCC),
+        )
+    elif config.replication != len(placement.datacenters):
+        raise ValueError(
+            f"config.replication={config.replication} does not match "
+            f"{len(placement.datacenters)} data centers"
+        )
+    counters = CounterSet()
+    cluster = Cluster(
+        protocol=protocol,
+        sim=sim,
+        network=network,
+        placement=placement,
+        config=config,
+        counters=counters,
+        rng=rng,
+    )
+    cluster.storage_nodes = _build_storage_nodes(cluster)
+    return cluster
+
+
+def _build_storage_nodes(cluster: Cluster) -> Dict[str, object]:
+    nodes: Dict[str, object] = {}
+    protocol = cluster.protocol
+    for dc in cluster.placement.datacenters:
+        for partition in range(cluster.placement.partitions_per_table):
+            node_id = cluster.placement.storage_node_id(dc, partition)
+            if protocol in _VARIANTS:
+                node = MDCCStorageNode(
+                    cluster.sim,
+                    cluster.network,
+                    node_id,
+                    dc,
+                    placement=cluster.placement,
+                    config=cluster.config,
+                    counters=cluster.counters,
+                )
+            elif protocol == "2pc":
+                from repro.protocols.twopc import TwoPCStorageNode
+
+                node = TwoPCStorageNode(
+                    cluster.sim,
+                    cluster.network,
+                    node_id,
+                    dc,
+                    placement=cluster.placement,
+                    config=cluster.config,
+                    counters=cluster.counters,
+                )
+            elif protocol in ("qw3", "qw4"):
+                from repro.protocols.quorumwrites import QuorumWriteStorageNode
+
+                node = QuorumWriteStorageNode(
+                    cluster.sim,
+                    cluster.network,
+                    node_id,
+                    dc,
+                    placement=cluster.placement,
+                    config=cluster.config,
+                    counters=cluster.counters,
+                )
+            elif protocol == "megastore":
+                from repro.protocols.megastore import MegastoreStorageNode
+
+                node = MegastoreStorageNode(
+                    cluster.sim,
+                    cluster.network,
+                    node_id,
+                    dc,
+                    placement=cluster.placement,
+                    config=cluster.config,
+                    counters=cluster.counters,
+                )
+            else:  # pragma: no cover - guarded by build_cluster
+                raise ValueError(protocol)
+            nodes[node_id] = node
+    return nodes

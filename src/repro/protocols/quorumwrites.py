@@ -1,0 +1,233 @@
+"""The quorum-writes protocol (§5.2, "QW").
+
+"The quorum writes protocol (QW) is the standard for most eventually
+consistent systems and is implemented by simply sending all updates to all
+involved storage nodes then waiting for responses from quorum nodes ...
+It is important to note that the quorum writes protocol provides no
+isolation, atomicity, or transactional guarantees."
+
+Writes are timestamped and resolved last-writer-wins; deltas apply
+unconditionally (no constraints — violating the stock invariant is
+*expected* for this baseline, and the consistency checkers demonstrate
+it).  Reads use a read-quorum of 1: the local replica.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.config import MDCCConfig
+from repro.core.coordinator import TransactionOutcome, WriteSet
+from repro.core.messages import ReadReply, ReadRequest
+from repro.core.options import (
+    CommutativeUpdate,
+    OptionStatus,
+    PhysicalUpdate,
+    RecordId,
+    Update,
+)
+from repro.core.topology import ReplicaMap
+from repro.sim.core import Future, Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.storage.store import RecordStore
+
+__all__ = ["QuorumWriteClient", "QuorumWriteStorageNode"]
+
+
+@dataclass(frozen=True)
+class QWWrite:
+    txid: str
+    record: RecordId
+    update: Update
+    timestamp: float
+    writer: str
+
+
+@dataclass(frozen=True)
+class QWAck:
+    txid: str
+    record: RecordId
+
+
+class QuorumWriteStorageNode(Node):
+    """An eventually-consistent replica: apply-on-receipt, LWW registers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.store = RecordStore()
+        #: record -> (timestamp, writer) of the last applied full write.
+        self._lww: Dict[RecordId, Tuple[float, str]] = {}
+        self._applied: Set[str] = set()
+
+    def handle_qw_write(self, message: QWWrite, src_id: str) -> None:
+        apply_key = f"{message.txid}:{message.record}"
+        if apply_key not in self._applied:
+            self._applied.add(apply_key)
+            self._apply(message)
+        self.counters.increment("qw.writes")
+        self.send(src_id, QWAck(txid=message.txid, record=message.record))
+
+    def _apply(self, message: QWWrite) -> None:
+        record = self.store.record(message.record.table, message.record.key)
+        update = message.update
+        if isinstance(update, PhysicalUpdate):
+            stamp = (message.timestamp, message.writer)
+            current = self._lww.get(message.record)
+            if current is not None and current >= stamp:
+                return  # an older write loses (last-writer-wins)
+            self._lww[message.record] = stamp
+            if update.is_delete:
+                record.commit_delete()
+            else:
+                record.commit_value(update.new_value)
+        else:
+            assert isinstance(update, CommutativeUpdate)
+            if not record.exists:
+                record.commit_value({})
+            for attribute, delta in update.deltas:
+                record.commit_delta(attribute, delta)
+
+    def handle_read_request(self, message: ReadRequest, src_id: str) -> None:
+        snapshot = self.store.read(message.table, message.key)
+        self.counters.increment("qw.reads")
+        self.send(
+            src_id,
+            ReadReply(
+                request_id=message.request_id,
+                table=message.table,
+                key=message.key,
+                exists=snapshot.exists,
+                value=snapshot.value,
+                version=snapshot.version,
+                is_fast_era=True,
+                master_hint="",
+            ),
+        )
+
+
+@dataclass
+class _QWTx:
+    txid: str
+    future: Future
+    started_at: float
+    needed: Dict[RecordId, int] = field(default_factory=dict)
+    acks: Dict[RecordId, Set[str]] = field(default_factory=dict)
+    finished: bool = False
+
+
+class QuorumWriteClient(Node):
+    """The QW-k client: broadcast writes, wait for k acks per record."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+        write_quorum: int = 3,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        if not 1 <= write_quorum <= placement.replication:
+            raise ValueError(f"write quorum {write_quorum} out of range")
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.write_quorum = write_quorum
+        self._transactions: Dict[str, _QWTx] = {}
+        self._txid_seq = itertools.count(1)
+        self._read_seq = itertools.count(1)
+        self._pending_reads: Dict[int, Future] = {}
+
+    # ------------------------------------------------------------------
+    # Reads: read-quorum of 1 (local replica)
+    # ------------------------------------------------------------------
+    def read(self, table: str, key: str, dc: Optional[str] = None) -> Future:
+        request_id = next(self._read_seq)
+        future = self.sim.future()
+        self._pending_reads[request_id] = future
+        record = RecordId(table, key)
+        replica = self.placement.replica_in(record, dc or self.dc)
+        self.send(replica, ReadRequest(table=table, key=key, request_id=request_id))
+        return future
+
+    def handle_read_reply(self, message: ReadReply, src_id: str) -> None:
+        future = self._pending_reads.pop(message.request_id, None)
+        if future is not None:
+            future.try_resolve(message)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
+        txid = txid or f"{self.node_id}-tx{next(self._txid_seq)}"
+        future = self.sim.future()
+        if not writeset:
+            future.resolve(
+                TransactionOutcome(
+                    txid=txid,
+                    committed=True,
+                    started_at=self.sim.now,
+                    decided_at=self.sim.now,
+                    statuses={},
+                    fast_path=True,
+                )
+            )
+            return future
+        tx = _QWTx(txid=txid, future=future, started_at=self.sim.now)
+        self._transactions[txid] = tx
+        for record, update in writeset.updates.items():
+            tx.needed[record] = self.write_quorum
+            tx.acks[record] = set()
+            message = QWWrite(
+                txid=txid,
+                record=record,
+                update=update,
+                timestamp=self.sim.now,
+                writer=self.node_id,
+            )
+            self.broadcast(self.placement.replicas(record), message)
+        self.counters.increment("coordinator.transactions")
+        return future
+
+    def handle_qw_ack(self, message: QWAck, src_id: str) -> None:
+        tx = self._transactions.get(message.txid)
+        if tx is None or tx.finished:
+            return
+        tx.acks.setdefault(message.record, set()).add(src_id)
+        if all(
+            len(tx.acks.get(record, ())) >= needed
+            for record, needed in tx.needed.items()
+        ):
+            tx.finished = True
+            outcome = TransactionOutcome(
+                txid=tx.txid,
+                committed=True,  # QW never aborts: no guarantees to violate
+                started_at=tx.started_at,
+                decided_at=self.sim.now,
+                statuses={
+                    str(record): OptionStatus.ACCEPTED for record in tx.needed
+                },
+                fast_path=True,
+            )
+            self.counters.increment("coordinator.commits")
+            del self._transactions[tx.txid]
+            tx.future.resolve(outcome)

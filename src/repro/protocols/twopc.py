@@ -1,0 +1,354 @@
+"""Two-phase commit over replicated storage (§5.2, "2PC").
+
+"2PC operates in two phases.  In the first phase, a transaction manager
+tries to prepare all involved storage nodes to commit the updates.  If all
+relevant nodes prepare successfully, then in the second phase the
+transaction manager sends a commit to all storage nodes involved;
+otherwise it sends an abort.  Note, that 2PC requires all involved storage
+nodes to respond and is not resilient to single node failures."
+
+Concretely: prepare acquires a per-record lock and validates the read
+version at **every** replica; the decision round releases locks and applies
+the update.  The coordinator waits for *all* replicas in both rounds — two
+full wide-area round trips to the farthest data center, which is exactly
+the latency disadvantage Figure 3/5 shows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.config import MDCCConfig
+from repro.core.coordinator import TransactionOutcome, WriteSet
+from repro.core.demarcation import DemarcationLimits, escrow_accepts
+from repro.core.messages import ReadReply, ReadRequest
+from repro.core.options import (
+    CommutativeUpdate,
+    OptionStatus,
+    PhysicalUpdate,
+    ReadValidation,
+    RecordId,
+    Update,
+)
+from repro.core.topology import ReplicaMap
+from repro.sim.core import Future, Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.storage.store import RecordStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["TwoPCCoordinator", "TwoPCStorageNode"]
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrepareRequest:
+    txid: str
+    record: RecordId
+    update: Update
+
+
+@dataclass(frozen=True)
+class PrepareReply:
+    txid: str
+    record: RecordId
+    ok: bool
+
+
+@dataclass(frozen=True)
+class DecisionMessage:
+    txid: str
+    record: RecordId
+    update: Update
+    commit: bool
+
+
+@dataclass(frozen=True)
+class DecisionAck:
+    txid: str
+    record: RecordId
+
+
+class TwoPCStorageNode(Node):
+    """A 2PC participant replica: lock table + versioned store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.store = RecordStore()
+        self.wal = WriteAheadLog()
+        #: record -> (txid, update) currently prepared (locked).
+        self._locks: Dict[RecordId, Tuple[str, Update]] = {}
+        #: decisions already applied, for idempotence.
+        self._decided: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Phase 1: prepare (lock + validate)
+    # ------------------------------------------------------------------
+    def handle_prepare_request(self, message: PrepareRequest, src_id: str) -> None:
+        ok = self._try_prepare(message.txid, message.record, message.update)
+        self.wal.append("2pc-prepare", txid=message.txid, ok=ok)
+        self.counters.increment("twopc.prepares")
+        self.send(src_id, PrepareReply(txid=message.txid, record=message.record, ok=ok))
+
+    def _try_prepare(self, txid: str, record: RecordId, update: Update) -> bool:
+        if (txid, str(record)) in self._decided:
+            # The decision overtook this prepare in flight (links reorder).
+            # Locking now would leak the lock forever: nothing is coming to
+            # release it.
+            return False
+        held = self._locks.get(record)
+        if held is not None and held[0] != txid:
+            return False  # lock conflict
+        snapshot = self.store.read(record.table, record.key)
+        if isinstance(update, ReadValidation):
+            # OCC read-set check (§4.4): version still current.  Takes the
+            # lock like any prepare — a read lock held until the decision.
+            if update.vread != snapshot.version:
+                return False
+        elif isinstance(update, PhysicalUpdate):
+            if update.vread != snapshot.version:
+                return False
+            if not update.is_delete:
+                schema = self.store.schema(record.table)
+                if not schema.check_value(update.new_value):
+                    return False
+        else:
+            assert isinstance(update, CommutativeUpdate)
+            if not snapshot.exists:
+                return False
+            schema = self.store.schema(record.table)
+            for attribute, delta in update.deltas:
+                constraint = schema.constraint(attribute)
+                if constraint is None:
+                    continue
+                current = snapshot.attribute(attribute, 0)
+                if not isinstance(current, (int, float)):
+                    return False
+                limits = DemarcationLimits(
+                    lower=constraint.minimum, upper=constraint.maximum
+                )
+                # All replicas must prepare, so plain escrow suffices.
+                if not escrow_accepts(float(current), [], delta, limits):
+                    return False
+        self._locks[record] = (txid, update)
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 2: decision
+    # ------------------------------------------------------------------
+    def handle_decision_message(self, message: DecisionMessage, src_id: str) -> None:
+        key = (message.txid, str(message.record))
+        if key not in self._decided:
+            self._decided.add(key)
+            held = self._locks.get(message.record)
+            if held is not None and held[0] == message.txid:
+                del self._locks[message.record]
+            if message.commit:
+                self._apply(message.record, message.update)
+            self.wal.append(
+                "2pc-decision", txid=message.txid, commit=message.commit
+            )
+            self.counters.increment(
+                "twopc.commits" if message.commit else "twopc.aborts"
+            )
+        self.send(src_id, DecisionAck(txid=message.txid, record=message.record))
+
+    def _apply(self, record: RecordId, update: Update) -> None:
+        stored = self.store.record(record.table, record.key)
+        if isinstance(update, ReadValidation):
+            return  # asserted state; nothing to apply
+        if isinstance(update, PhysicalUpdate):
+            if update.is_delete:
+                stored.commit_delete()
+            elif stored.current_version == update.vread:
+                stored.commit_value(update.new_value)
+            # A stale apply (already superseded) is dropped silently: the
+            # coordinator serialized decisions through the locks.
+        else:
+            for attribute, delta in update.deltas:
+                stored.commit_delta(attribute, delta)
+
+    # ------------------------------------------------------------------
+    # Reads (same message vocabulary as MDCC)
+    # ------------------------------------------------------------------
+    def handle_read_request(self, message: ReadRequest, src_id: str) -> None:
+        snapshot = self.store.read(message.table, message.key)
+        self.counters.increment("twopc.reads")
+        self.send(
+            src_id,
+            ReadReply(
+                request_id=message.request_id,
+                table=message.table,
+                key=message.key,
+                exists=snapshot.exists,
+                value=snapshot.value,
+                version=snapshot.version,
+                is_fast_era=False,
+                master_hint="",
+            ),
+        )
+
+
+@dataclass
+class _TwoPCTx:
+    txid: str
+    updates: Dict[RecordId, Update]
+    future: Future
+    started_at: float
+    prepare_replies: Dict[Tuple[RecordId, str], bool] = field(default_factory=dict)
+    decision: Optional[bool] = None
+    acks: Set[Tuple[RecordId, str]] = field(default_factory=set)
+    finished: bool = False
+
+
+class TwoPCCoordinator(Node):
+    """The client-side transaction manager for 2PC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self._transactions: Dict[str, _TwoPCTx] = {}
+        self._txid_seq = itertools.count(1)
+        self._read_seq = itertools.count(1)
+        self._pending_reads: Dict[int, Future] = {}
+        self.prepare_timeout_ms = 4 * config.learn_timeout_ms
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, table: str, key: str, dc: Optional[str] = None) -> Future:
+        request_id = next(self._read_seq)
+        future = self.sim.future()
+        self._pending_reads[request_id] = future
+        record = RecordId(table, key)
+        replica = self.placement.replica_in(record, dc or self.dc)
+        self.send(replica, ReadRequest(table=table, key=key, request_id=request_id))
+        return future
+
+    def handle_read_reply(self, message: ReadReply, src_id: str) -> None:
+        future = self._pending_reads.pop(message.request_id, None)
+        if future is not None:
+            future.try_resolve(message)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
+        txid = txid or f"{self.node_id}-tx{next(self._txid_seq)}"
+        future = self.sim.future()
+        if not writeset:
+            future.resolve(
+                TransactionOutcome(
+                    txid=txid,
+                    committed=True,
+                    started_at=self.sim.now,
+                    decided_at=self.sim.now,
+                    statuses={},
+                    fast_path=False,
+                )
+            )
+            return future
+        tx = _TwoPCTx(
+            txid=txid,
+            updates=writeset.updates,
+            future=future,
+            started_at=self.sim.now,
+        )
+        self._transactions[txid] = tx
+        for record, update in tx.updates.items():
+            request = PrepareRequest(txid=txid, record=record, update=update)
+            self.broadcast(self.placement.replicas(record), request)
+        self.set_timer(self.prepare_timeout_ms, self._prepare_timeout, txid)
+        self.counters.increment("coordinator.transactions")
+        return future
+
+    def handle_prepare_reply(self, message: PrepareReply, src_id: str) -> None:
+        tx = self._transactions.get(message.txid)
+        if tx is None or tx.decision is not None:
+            return
+        tx.prepare_replies[(message.record, src_id)] = message.ok
+        if not message.ok:
+            self._decide(tx, commit=False)
+            return
+        expected = len(tx.updates) * self.placement.replication
+        if len(tx.prepare_replies) == expected and all(tx.prepare_replies.values()):
+            self._decide(tx, commit=True)
+
+    def _prepare_timeout(self, txid: str) -> None:
+        tx = self._transactions.get(txid)
+        if tx is not None and tx.decision is None:
+            # A participant is unreachable: 2PC can only abort (and even
+            # that needs the participant back to release its lock — the
+            # protocol's well-known blocking weakness).
+            self._decide(tx, commit=False)
+            self.counters.increment("coordinator.prepare_timeouts")
+
+    def _decide(self, tx: _TwoPCTx, commit: bool) -> None:
+        tx.decision = commit
+        for record, update in tx.updates.items():
+            message = DecisionMessage(
+                txid=tx.txid, record=record, update=update, commit=commit
+            )
+            self.broadcast(self.placement.replicas(record), message)
+        if not commit:
+            # Aborts resolve immediately: the client's answer is final and
+            # lock release needs no acknowledgment round.
+            self._finish(tx)
+
+    def handle_decision_ack(self, message: DecisionAck, src_id: str) -> None:
+        tx = self._transactions.get(message.txid)
+        if tx is None or tx.finished:
+            return
+        tx.acks.add((message.record, src_id))
+        expected = len(tx.updates) * self.placement.replication
+        if len(tx.acks) == expected:
+            self._finish(tx)
+
+    def _finish(self, tx: _TwoPCTx) -> None:
+        tx.finished = True
+        outcome = TransactionOutcome(
+            txid=tx.txid,
+            committed=bool(tx.decision),
+            started_at=tx.started_at,
+            decided_at=self.sim.now,
+            statuses={
+                str(record): (
+                    OptionStatus.ACCEPTED if tx.decision else OptionStatus.REJECTED
+                )
+                for record in tx.updates
+            },
+            fast_path=False,
+        )
+        self.counters.increment(
+            "coordinator.commits" if tx.decision else "coordinator.aborts"
+        )
+        del self._transactions[tx.txid]
+        tx.future.resolve(outcome)

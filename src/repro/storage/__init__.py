@@ -1,0 +1,28 @@
+"""Storage substrate: versioned records, schemas, partitioning, WAL.
+
+The paper's storage nodes are "significantly simplified" key/value servers
+(§2): they hold horizontally partitioned, versioned records plus the Paxos
+metadata the protocol needs.  This package supplies the data layer —
+protocol state machines live in :mod:`repro.core` and use these stores.
+"""
+
+from repro.storage.record import Record, RecordVersion, Snapshot, TOMBSTONE
+from repro.storage.schema import Constraint, TableSchema
+from repro.storage.store import RecordStore, StorageError
+from repro.storage.partition import HashPartitioner, RangePartitioner
+from repro.storage.wal import LogEntry, WriteAheadLog
+
+__all__ = [
+    "Constraint",
+    "HashPartitioner",
+    "LogEntry",
+    "RangePartitioner",
+    "Record",
+    "RecordStore",
+    "RecordVersion",
+    "Snapshot",
+    "StorageError",
+    "TOMBSTONE",
+    "TableSchema",
+    "WriteAheadLog",
+]

@@ -1,0 +1,195 @@
+"""Versioned records.
+
+Every update in MDCC "creates a new version, and [is] represented in the
+form v_read -> v_write" (§3.2.1); write-write conflict detection compares
+the current committed version with the transaction's read version.  A
+:class:`Record` therefore keeps an explicit chain of committed
+:class:`RecordVersion` entries.  Deletes are tombstones: "Deletes work by
+marking the item as deleted and are handled as normal updates."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Record", "RecordVersion", "Snapshot", "TOMBSTONE"]
+
+
+class _Tombstone:
+    """Sentinel marking a deleted record version."""
+
+    _instance: Optional["_Tombstone"] = None
+
+    def __new__(cls) -> "_Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+@dataclass(frozen=True)
+class RecordVersion:
+    """One committed version of a record.
+
+    ``value`` is either an attribute dict or :data:`TOMBSTONE`.
+    Version numbers start at 1 for the first insert; 0 means "never
+    existed" and is the read-version carried by inserts.
+    """
+
+    version: int
+    value: object  # Dict[str, object] | _Tombstone
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is TOMBSTONE
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """What a read returns: existence, a value copy, and the version read.
+
+    ``version`` feeds v_read of subsequent updates; reading an absent
+    record yields ``version == 0`` so that a later insert is validated as
+    "only succeed if the record doesn't already exist" (§3.2.1).
+    """
+
+    exists: bool
+    value: Optional[Dict[str, object]]
+    version: int
+
+    def attribute(self, name: str, default: object = None) -> object:
+        if not self.exists or self.value is None:
+            return default
+        return self.value.get(name, default)
+
+
+class Record:
+    """A single record's committed version chain.
+
+    The chain only holds *committed* state; pending options are protocol
+    state kept by the MDCC acceptor (:mod:`repro.core.acceptor`).  The
+    chain is append-only — version N+1 may only be appended after version N
+    ("a new record version can only be chosen if the previous version was
+    successfully determined", §3.2.1).
+    """
+
+    __slots__ = ("table", "key", "_versions", "applied_ids")
+
+    def __init__(self, table: str, key: str) -> None:
+        self.table = table
+        self.key = key
+        self._versions: List[RecordVersion] = []
+        #: option ids whose effects are folded into the committed value.
+        #: Carried by repair/catch-up payloads so a replica adopting this
+        #: state wholesale knows which in-flight visibilities it must NOT
+        #: re-apply (commutative deltas are blind — without this set a
+        #: CatchUp followed by the original Visibility double-applies).
+        self.applied_ids: set = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_version(self) -> int:
+        """Version number of the latest committed state (0 if none)."""
+        return self._versions[-1].version if self._versions else 0
+
+    @property
+    def exists(self) -> bool:
+        """True if the latest committed version is live (not a tombstone)."""
+        return bool(self._versions) and not self._versions[-1].is_tombstone
+
+    def snapshot(self) -> Snapshot:
+        """A copy-safe view of the committed state."""
+        if not self.exists:
+            return Snapshot(exists=False, value=None, version=self.current_version)
+        latest = self._versions[-1]
+        return Snapshot(exists=True, value=dict(latest.value), version=latest.version)
+
+    def version_chain(self) -> List[RecordVersion]:
+        """The full committed history (copies of the dataclass entries)."""
+        return list(self._versions)
+
+    def value_at(self, version: int) -> Optional[RecordVersion]:
+        """The chain entry with exactly ``version``, or None."""
+        for entry in self._versions:
+            if entry.version == version:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation (called by protocol executors only)
+    # ------------------------------------------------------------------
+    def commit_value(self, value: Dict[str, object], option_id: Optional[str] = None) -> int:
+        """Append a new committed version holding a copy of ``value``."""
+        next_version = self.current_version + 1
+        self._versions.append(RecordVersion(next_version, dict(value)))
+        if option_id is not None:
+            self.applied_ids.add(option_id)
+        return next_version
+
+    def commit_delete(self, option_id: Optional[str] = None) -> int:
+        """Append a tombstone version."""
+        next_version = self.current_version + 1
+        self._versions.append(RecordVersion(next_version, TOMBSTONE))
+        if option_id is not None:
+            self.applied_ids.add(option_id)
+        return next_version
+
+    def commit_delta(
+        self, attribute: str, delta: float, option_id: Optional[str] = None
+    ) -> int:
+        """Append a version with ``attribute`` adjusted by ``delta``.
+
+        Commutative updates apply to the latest committed value; the record
+        must exist.
+        """
+        if not self.exists:
+            raise ValueError(
+                f"commutative update on non-existent record {self.table}/{self.key}"
+            )
+        latest = dict(self._versions[-1].value)
+        current = latest.get(attribute, 0)
+        if not isinstance(current, (int, float)):
+            raise ValueError(
+                f"attribute {attribute!r} of {self.table}/{self.key} is not numeric"
+            )
+        latest[attribute] = current + delta
+        return self.commit_value(latest, option_id=option_id)
+
+    def catch_up(
+        self,
+        version: int,
+        value: Optional[Dict[str, object]],
+        applied_ids: tuple = (),
+    ) -> bool:
+        """Jump directly to ``version`` with ``value`` (None = tombstone).
+
+        Used by replica catch-up: a lagging node that missed intermediate
+        commits adopts the authoritative committed state wholesale.
+        ``applied_ids`` are the option ids folded into the adopted value;
+        when the jump happens they join this record's applied set so their
+        (possibly still in-flight) visibilities are not re-applied here.
+        Returns False (no-op) if we already know ``version`` or newer —
+        then the ids are NOT merged either: a replica that is not behind
+        may hold a different applied subset (commutative orders diverge),
+        and marking a foreign id applied would drop its pending delta.
+        """
+        if version <= self.current_version:
+            return False
+        payload: object = TOMBSTONE if value is None else dict(value)
+        self._versions.append(RecordVersion(version, payload))
+        self.applied_ids.update(applied_ids)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Record {self.table}/{self.key} v{self.current_version}"
+            f"{'' if self.exists else ' (absent)'}>"
+        )

@@ -1,0 +1,87 @@
+"""The per-node record store: tables of versioned records.
+
+One :class:`RecordStore` instance backs each simulated storage node.  It is
+deliberately dumb — versioned reads and committed writes only.  Validation
+(read-version checks, constraint demarcation, option bookkeeping) is the
+protocol's job; keeping it out of the store means every protocol baseline
+(2PC, quorum writes, Megastore*) shares the same substrate, as in the
+paper's evaluation ("using the same distributed store", §5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.storage.record import Record, Snapshot
+from repro.storage.schema import TableSchema
+
+__all__ = ["RecordStore", "StorageError"]
+
+
+class StorageError(RuntimeError):
+    """Raised for schema violations and unknown tables."""
+
+
+class RecordStore:
+    """All records hosted by one storage node, grouped by table."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, TableSchema] = {}
+        self._tables: Dict[str, Dict[str, Record]] = {}
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+    def register_table(self, schema: TableSchema) -> None:
+        if schema.name in self._schemas:
+            raise StorageError(f"table {schema.name!r} already registered")
+        self._schemas[schema.name] = schema
+        self._tables[schema.name] = {}
+
+    def schema(self, table: str) -> TableSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise StorageError(f"unknown table {table!r}") from None
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(self._schemas)
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def record(self, table: str, key: str) -> Record:
+        """The record object for (table, key), created lazily."""
+        if table not in self._tables:
+            raise StorageError(f"unknown table {table!r}")
+        records = self._tables[table]
+        if key not in records:
+            records[key] = Record(table, key)
+        return records[key]
+
+    def peek(self, table: str, key: str) -> Optional[Record]:
+        """The record if it has ever been touched, else None (no creation)."""
+        if table not in self._tables:
+            raise StorageError(f"unknown table {table!r}")
+        return self._tables[table].get(key)
+
+    def read(self, table: str, key: str) -> Snapshot:
+        """Committed snapshot of (table, key); absent records read cleanly."""
+        record = self.peek(table, key)
+        if record is None:
+            return Snapshot(exists=False, value=None, version=0)
+        return record.snapshot()
+
+    def scan(self, table: str) -> Iterator[Tuple[str, Snapshot]]:
+        """(key, snapshot) for every live record of ``table``, sorted by key."""
+        if table not in self._tables:
+            raise StorageError(f"unknown table {table!r}")
+        for key in sorted(self._tables[table]):
+            record = self._tables[table][key]
+            if record.exists:
+                yield key, record.snapshot()
+
+    def count(self, table: str) -> int:
+        """Number of live records in ``table``."""
+        return sum(1 for _ in self.scan(table))

@@ -1,0 +1,83 @@
+"""Write-ahead log of learned options.
+
+The paper's failure-recovery story depends on durable option logs: storage
+nodes keep "a log of all learned options" so that "every option includes
+all necessary information to reconstruct the state of the corresponding
+transactions" (§3.2.3).  This module provides that log as an append-only
+in-memory structure with monotonically increasing LSNs; the simulated
+environment treats an appended entry as durable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["LogEntry", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One durable log record.
+
+    ``kind`` is a short tag ("option-learned", "visibility", ...);
+    ``payload`` is whatever the protocol needs to replay — for MDCC, the
+    option with its transaction id and write-set keys.
+    """
+
+    lsn: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """Append-only log with LSN-ordered iteration and replay."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self._next_lsn = 1
+
+    def append(self, kind: str, **payload: Any) -> LogEntry:
+        """Durably record an entry; returns it with its assigned LSN."""
+        entry = LogEntry(lsn=self._next_lsn, kind=kind, payload=dict(payload))
+        self._next_lsn += 1
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    @property
+    def last_lsn(self) -> int:
+        return self._entries[-1].lsn if self._entries else 0
+
+    def entries_since(self, lsn: int) -> List[LogEntry]:
+        """Entries with LSN strictly greater than ``lsn``."""
+        return [entry for entry in self._entries if entry.lsn > lsn]
+
+    def entries_of_kind(self, kind: str) -> List[LogEntry]:
+        return [entry for entry in self._entries if entry.kind == kind]
+
+    def replay(
+        self,
+        apply: Callable[[LogEntry], None],
+        from_lsn: int = 0,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Apply entries after ``from_lsn`` (optionally one kind); count them."""
+        count = 0
+        for entry in self.entries_since(from_lsn):
+            if kind is not None and entry.kind != kind:
+                continue
+            apply(entry)
+            count += 1
+        return count
+
+    def truncate_through(self, lsn: int) -> int:
+        """Discard entries with LSN <= ``lsn`` (checkpointing); count removed."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.lsn > lsn]
+        return before - len(self._entries)

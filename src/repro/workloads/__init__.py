@@ -1,0 +1,22 @@
+"""Workloads of the paper's evaluation (§5).
+
+* :mod:`repro.workloads.micro` — the §5.3 micro-benchmark: a buy
+  transaction over 3 uniformly random items, each decremented by 1-3
+  under a stock ≥ 0 constraint, with hot-spot and master-locality knobs.
+* :mod:`repro.workloads.tpcw` — the TPC-W transactional web benchmark
+  (database part of the 14 web interactions, write-heavy ordering mix).
+* :mod:`repro.workloads.generator` — closed-loop client processes and the
+  statistics they produce (latency CDFs, commit/abort counts, time series).
+"""
+
+from repro.workloads.generator import ClientPool, WorkloadStats
+from repro.workloads.micro import MicroBenchmark
+from repro.workloads.tpcw import TPCWBenchmark, TPCW_MIX
+
+__all__ = [
+    "ClientPool",
+    "MicroBenchmark",
+    "TPCWBenchmark",
+    "TPCW_MIX",
+    "WorkloadStats",
+]

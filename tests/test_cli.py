@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ("--clients", "5", "--items", "100", "--warmup-s", "1", "--measure-s", "4")
+
+
+class TestRun:
+    def test_run_mdcc_micro(self, capsys):
+        code, out = run_cli(capsys, "run", "--protocol", "mdcc", *SMALL)
+        assert code == 0
+        assert "mdcc" in out
+        assert "clean" in out
+
+    def test_run_json_output(self, capsys):
+        code, out = run_cli(capsys, "run", "--protocol", "qw3", "--json", *SMALL)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["protocol"] == "qw3"
+        assert payload["commits"] > 0
+        assert payload["median_ms"] > 0
+
+    def test_run_tpcw(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--protocol", "2pc", "--workload", "tpcw", "--json", *SMALL
+        )
+        assert code == 0
+        assert json.loads(out)["commits"] > 0
+
+    def test_run_with_hotspot(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--protocol", "mdcc", "--hotspot", "0.1", "--json", *SMALL
+        )
+        assert code == 0
+        assert json.loads(out)["commits"] > 0
+
+    def test_run_with_dc_failure(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--protocol",
+            "mdcc",
+            "--fail-dc",
+            "us-east",
+            "--fail-at-s",
+            "2",
+            "--json",
+            *SMALL,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["commits"] > 0  # commits continue across the outage
+
+    def test_hotspot_rejected_for_tpcw(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "tpcw", "--hotspot", "0.1", *SMALL])
+
+    def test_adaptive_policy_flag(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--protocol",
+            "mdcc",
+            "--gamma-policy",
+            "adaptive",
+            "--json",
+            *SMALL,
+        )
+        assert code == 0
+        assert json.loads(out)["constraint_violations"] == 0
+
+
+class TestCompare:
+    def test_compare_two_protocols(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "--protocols", "mdcc,2pc", "--json", *SMALL
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert [r["protocol"] for r in rows] == ["mdcc", "2pc"]
+        # The headline result holds even at toy scale.
+        assert rows[0]["median_ms"] < rows[1]["median_ms"]
+
+    def test_compare_table_output(self, capsys):
+        code, out = run_cli(capsys, "compare", "--protocols", "qw3,qw4", *SMALL)
+        assert code == 0
+        assert "qw3" in out and "qw4" in out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--protocols", "mdcc,spanner", *SMALL])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "mdcc"
+        assert args.workload == "micro"
+        assert args.gamma_policy == "static"

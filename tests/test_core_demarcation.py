@@ -1,0 +1,133 @@
+"""Unit and property tests for quorum demarcation (§3.4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demarcation import (
+    DemarcationLimits,
+    demarcation_limits,
+    escrow_accepts,
+)
+from repro.storage.schema import Constraint
+
+
+class TestLimits:
+    def test_paper_formula_n5_qf4(self):
+        # L = (N - QF)/N * X = (5-4)/5 * 4 = 0.8 for stock 4, min 0.
+        limits = demarcation_limits(5, 4, 4.0, Constraint(minimum=0))
+        assert limits.lower == pytest.approx(0.8)
+        assert limits.upper is None
+
+    def test_zero_slack_when_fast_quorum_is_all(self):
+        # Classic mode: full escrow window down to the constraint itself.
+        limits = demarcation_limits(5, 5, 4.0, Constraint(minimum=0))
+        assert limits.lower == pytest.approx(0.0)
+
+    def test_nonzero_minimum_shifts_limit(self):
+        # Headroom is measured above the minimum: X=14, min=10 -> headroom 4.
+        limits = demarcation_limits(5, 4, 14.0, Constraint(minimum=10))
+        assert limits.lower == pytest.approx(10 + 0.8)
+
+    def test_upper_limit_symmetric(self):
+        limits = demarcation_limits(5, 4, 6.0, Constraint(maximum=10))
+        # headroom above = 4, slack = 4/5 -> U = 10 - 0.8.
+        assert limits.upper == pytest.approx(9.2)
+        assert limits.lower is None
+
+    def test_base_below_minimum_clamps_headroom(self):
+        limits = demarcation_limits(5, 4, -3.0, Constraint(minimum=0))
+        assert limits.lower == pytest.approx(0.0)
+
+    def test_invalid_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            demarcation_limits(5, 0, 4.0, Constraint(minimum=0))
+        with pytest.raises(ValueError):
+            demarcation_limits(5, 6, 4.0, Constraint(minimum=0))
+
+
+class TestEscrow:
+    LIMITS = DemarcationLimits(lower=0.8, upper=None)
+
+    def test_paper_example_five_decrements(self):
+        """§3.4.2: stock 4, five decrement-by-1 options.  With plain escrow
+        (L=0) a node rejects the 5th; with demarcation (L=0.8) the 4th."""
+        plain = DemarcationLimits(lower=0.0, upper=None)
+        pending = []
+        accepted = 0
+        for _ in range(5):
+            if escrow_accepts(4.0, pending, -1.0, plain):
+                pending.append(-1.0)
+                accepted += 1
+        assert accepted == 4  # 5th rejected by escrow
+
+        pending = []
+        accepted = 0
+        for _ in range(5):
+            if escrow_accepts(4.0, pending, -1.0, self.LIMITS):
+                pending.append(-1.0)
+                accepted += 1
+        assert accepted == 3  # 4th rejected by the demarcation limit
+
+    def test_increments_do_not_consume_lower_budget(self):
+        assert escrow_accepts(1.0, [-0.5], +10.0, self.LIMITS)
+
+    def test_pending_increments_ignored_for_lower_bound(self):
+        # Worst case assumes increments abort.
+        assert not escrow_accepts(1.5, [+5.0], -1.0, self.LIMITS)
+
+    def test_upper_bound_checked(self):
+        limits = DemarcationLimits(lower=None, upper=9.2)
+        assert escrow_accepts(6.0, [], +3.0, limits)
+        assert not escrow_accepts(6.0, [+3.0], +1.0, limits)
+
+    def test_unbounded_accepts_anything(self):
+        limits = DemarcationLimits(lower=None, upper=None)
+        assert escrow_accepts(0.0, [-100.0], -1000.0, limits)
+
+
+class TestGlobalSafetyProperty:
+    """The paper's safety argument, checked mechanically: if every node
+    enforces L locally, no interleaving of fast-quorum commits can drive
+    the true value below the constraint minimum."""
+
+    @given(
+        base=st.integers(min_value=0, max_value=30),
+        deltas=st.lists(st.integers(min_value=1, max_value=4), max_size=25),
+        data=st.data(),
+    )
+    @settings(max_examples=300)
+    def test_no_interleaving_violates_constraint(self, base, deltas, data):
+        n, fast_quorum = 5, 4
+        constraint = Constraint(minimum=0)
+        limits = demarcation_limits(n, fast_quorum, float(base), constraint)
+        # Each node tracks its own pending set; an option commits iff some
+        # fast quorum of nodes accepts it.  The adversary (hypothesis)
+        # picks which nodes see each option.
+        node_pending = [[] for _ in range(n)]
+        committed_total = 0
+        for delta in deltas:
+            # Adversary chooses the subset of nodes that receive the option.
+            receivers = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    unique=True,
+                    min_size=1,
+                    max_size=n,
+                )
+            )
+            accepting = []
+            for node in receivers:
+                if escrow_accepts(
+                    float(base), node_pending[node], -float(delta), limits
+                ):
+                    accepting.append(node)
+            if len(accepting) >= fast_quorum:
+                committed_total += delta
+                for node in accepting:
+                    node_pending[node].append(-float(delta))
+            # Aborted options release their escrow at the nodes that
+            # accepted them only sometimes (adversary keeps them pending:
+            # the worst case for budget).
+        assert base - committed_total >= 0, (
+            f"constraint violated: base {base}, committed {committed_total}"
+        )

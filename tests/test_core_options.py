@@ -1,0 +1,123 @@
+"""Unit tests for options, updates and their cstruct command behaviour."""
+
+import pytest
+
+from repro.core.options import (
+    CommutativeUpdate,
+    Option,
+    OptionStatus,
+    PhysicalUpdate,
+    RecordId,
+)
+
+
+def physical(vread=1, value=None, delete=False):
+    if delete:
+        return PhysicalUpdate(vread=vread, new_value=None, is_delete=True)
+    return PhysicalUpdate(vread=vread, new_value=value or {"x": 1})
+
+
+def option(txid="t1", key="k1", update=None, status=OptionStatus.PENDING):
+    return Option(
+        txid=txid,
+        record=RecordId("items", key),
+        update=update or physical(),
+        writeset=(RecordId("items", key),),
+        status=status,
+    )
+
+
+class TestPhysicalUpdate:
+    def test_insert_detection(self):
+        assert physical(vread=0).is_insert
+        assert not physical(vread=3).is_insert
+
+    def test_delete_carries_no_value(self):
+        with pytest.raises(ValueError):
+            PhysicalUpdate(vread=1, new_value={"x": 1}, is_delete=True)
+
+    def test_non_delete_needs_value(self):
+        with pytest.raises(ValueError):
+            PhysicalUpdate(vread=1, new_value=None)
+
+    def test_negative_vread_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalUpdate(vread=-1, new_value={"x": 1})
+
+    def test_equality_and_hash(self):
+        a = physical(vread=2, value={"x": 1})
+        b = physical(vread=2, value={"x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != physical(vread=3, value={"x": 1})
+
+
+class TestCommutativeUpdate:
+    def test_of_constructor_sorts(self):
+        update = CommutativeUpdate.of(stock=-1, views=2)
+        assert update.attributes == ("stock", "views")
+
+    def test_delta_lookup(self):
+        update = CommutativeUpdate.of(stock=-3)
+        assert update.delta_for("stock") == -3
+        assert update.delta_for("ghost") == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CommutativeUpdate(())
+
+    def test_duplicate_attr_rejected(self):
+        with pytest.raises(ValueError):
+            CommutativeUpdate((("stock", -1), ("stock", -2)))
+
+
+class TestOption:
+    def test_identity(self):
+        opt = option()
+        assert opt.option_id == "t1:items/k1"
+        assert opt.command_id == opt.option_id
+
+    def test_with_status(self):
+        opt = option()
+        accepted = opt.with_status(OptionStatus.ACCEPTED)
+        assert accepted.accepted and not opt.accepted
+        assert accepted.option_id == opt.option_id
+
+    def test_status_decided(self):
+        assert not OptionStatus.PENDING.decided
+        assert OptionStatus.ACCEPTED.decided
+        assert OptionStatus.REJECTED.decided
+
+    def test_physical_options_never_commute(self):
+        a = option(txid="t1")
+        b = option(txid="t2")
+        assert not a.commutes_with(b)
+
+    def test_commutative_options_commute(self):
+        a = option(txid="t1", update=CommutativeUpdate.of(stock=-1))
+        b = option(txid="t2", update=CommutativeUpdate.of(stock=-2))
+        assert a.commutes_with(b)
+        assert b.commutes_with(a)
+
+    def test_mixed_do_not_commute(self):
+        a = option(txid="t1", update=CommutativeUpdate.of(stock=-1))
+        b = option(txid="t2")
+        assert not a.commutes_with(b)
+
+    def test_rejected_options_commute_with_everything(self):
+        # A rejected option never changes state; its cstruct position is
+        # semantically irrelevant.
+        rejected = option(txid="t1", status=OptionStatus.REJECTED)
+        other = option(txid="t2")
+        assert rejected.commutes_with(other)
+        assert other.commutes_with(rejected)
+
+    def test_writeset_carried(self):
+        records = (RecordId("items", "a"), RecordId("items", "b"))
+        opt = Option(
+            txid="t9",
+            record=records[0],
+            update=physical(),
+            writeset=records,
+        )
+        assert opt.writeset == records

@@ -1,0 +1,120 @@
+"""Integration tests for standalone Classic Paxos over the simulated WAN."""
+
+import pytest
+
+from repro.paxos.classic import ClassicAcceptor, ClassicProposer
+from repro.sim.core import Simulator
+from repro.sim.network import EC2_REGIONS, LatencyModel, Network
+from repro.sim.rng import RngRegistry
+
+
+def build_group(seed=1, n=5, jitter=0.0):
+    sim = Simulator()
+    registry = RngRegistry(seed=seed)
+    model = LatencyModel(jitter_sigma=jitter, rng_registry=registry)
+    network = Network(sim, latency_model=model, rng_registry=registry)
+    acceptors = [
+        ClassicAcceptor(sim, network, f"acc-{i}", EC2_REGIONS[i % len(EC2_REGIONS)])
+        for i in range(n)
+    ]
+    return sim, network, acceptors
+
+
+class TestSingleProposer:
+    def test_value_chosen(self):
+        sim, network, acceptors = build_group()
+        proposer = ClassicProposer(
+            sim, network, "prop", "us-west", [a.node_id for a in acceptors]
+        )
+        decision = proposer.propose("v1")
+        result = sim.run_until(decision, limit=10_000)
+        assert result == "v1"
+
+    def test_two_round_trips_latency(self):
+        # Classic Paxos needs Phase 1 + Phase 2: two round trips to a
+        # classic quorum (the 3rd-nearest DC from us-west is ap-northeast).
+        sim, network, acceptors = build_group()
+        proposer = ClassicProposer(
+            sim, network, "prop", "us-west", [a.node_id for a in acceptors]
+        )
+        decision = proposer.propose("v1")
+        sim.run_until(decision, limit=10_000)
+        # 2 RTTs of 120ms (+ 4 hops of 0.5ms overhead) ≈ 242ms.
+        assert 200 <= sim.now <= 300
+
+    def test_acceptors_converge_on_value(self):
+        sim, network, acceptors = build_group()
+        proposer = ClassicProposer(
+            sim, network, "prop", "us-west", [a.node_id for a in acceptors]
+        )
+        sim.run_until(proposer.propose("v1"), limit=10_000)
+        sim.run()  # drain in-flight messages
+        accepted = [a.accepted_value for a in acceptors if a.accepted_value]
+        assert len(accepted) == 5
+        assert set(accepted) == {"v1"}
+
+    def test_survives_minority_failure(self):
+        sim, network, acceptors = build_group()
+        network.fail_datacenter(acceptors[3].dc)  # one DC down
+        proposer = ClassicProposer(
+            sim, network, "prop", "us-west", [a.node_id for a in acceptors]
+        )
+        decision = proposer.propose("v1")
+        assert sim.run_until(decision, limit=10_000) == "v1"
+
+    def test_blocks_without_quorum(self):
+        sim, network, acceptors = build_group()
+        for acceptor in acceptors[2:]:
+            network.fail_datacenter(acceptor.dc)
+        proposer = ClassicProposer(
+            sim, network, "prop", "us-west", [a.node_id for a in acceptors]
+        )
+        decision = proposer.propose("v1")
+        sim.run(until=5_000)
+        assert not decision.done
+
+    def test_message_loss_retried(self):
+        sim, network, acceptors = build_group(seed=5)
+        network.set_drop_rate(0.2)
+        proposer = ClassicProposer(
+            sim, network, "prop", "us-west", [a.node_id for a in acceptors]
+        )
+        decision = proposer.propose("v1")
+        assert sim.run_until(decision, limit=120_000) == "v1"
+
+
+class TestCompetingProposers:
+    def test_both_learn_same_value(self):
+        sim, network, acceptors = build_group()
+        ids = [a.node_id for a in acceptors]
+        p1 = ClassicProposer(sim, network, "p1", "us-west", ids)
+        p2 = ClassicProposer(sim, network, "p2", "eu-west", ids)
+        d1 = p1.propose("west-value")
+        d2 = p2.propose("europe-value")
+        r1 = sim.run_until(d1, limit=60_000)
+        r2 = sim.run_until(d2, limit=60_000)
+        assert r1 == r2
+        assert r1 in ("west-value", "europe-value")
+
+    def test_chosen_value_stable_across_later_proposals(self):
+        # Once chosen, a later proposer must learn the chosen value, not
+        # overwrite it.
+        sim, network, acceptors = build_group()
+        ids = [a.node_id for a in acceptors]
+        p1 = ClassicProposer(sim, network, "p1", "us-west", ids)
+        first = sim.run_until(p1.propose("first"), limit=10_000)
+        p2 = ClassicProposer(sim, network, "p2", "ap-southeast", ids)
+        second = sim.run_until(p2.propose("second"), limit=60_000)
+        assert first == "first"
+        assert second == "first"
+
+    def test_many_competing_proposers_agree(self):
+        sim, network, acceptors = build_group(seed=9, jitter=0.1)
+        ids = [a.node_id for a in acceptors]
+        proposers = [
+            ClassicProposer(sim, network, f"p{i}", EC2_REGIONS[i], ids)
+            for i in range(5)
+        ]
+        decisions = [p.propose(f"value-{i}") for i, p in enumerate(proposers)]
+        results = {sim.run_until(d, limit=300_000) for d in decisions}
+        assert len(results) == 1

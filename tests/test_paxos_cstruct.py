@@ -1,0 +1,255 @@
+"""Unit and property tests for the Generalized Paxos cstruct lattice."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.paxos.cstruct import CStruct
+
+
+@dataclass(frozen=True)
+class Cmd:
+    """Test command: commutative commands commute with each other only."""
+
+    cid: str
+    commutative: bool = False
+    status: str = "pending"
+
+    @property
+    def command_id(self) -> str:
+        return self.cid
+
+    def commutes_with(self, other: "Cmd") -> bool:
+        return self.commutative and other.commutative
+
+
+# A fixed pool: d* are commutative deltas, x* are physical (non-commuting).
+POOL = {
+    "d1": Cmd("d1", commutative=True),
+    "d2": Cmd("d2", commutative=True),
+    "d3": Cmd("d3", commutative=True),
+    "x1": Cmd("x1", commutative=False),
+    "x2": Cmd("x2", commutative=False),
+}
+
+
+def cs(*cids: str) -> CStruct:
+    return CStruct([POOL[cid] for cid in cids])
+
+
+@st.composite
+def cstructs(draw):
+    subset = draw(st.lists(st.sampled_from(sorted(POOL)), unique=True, max_size=5))
+    permuted = draw(st.permutations(subset))
+    return CStruct([POOL[cid] for cid in permuted])
+
+
+class TestBasics:
+    def test_empty(self):
+        empty = CStruct()
+        assert len(empty) == 0
+        assert not empty.contains_id("d1")
+
+    def test_append_is_persistent(self):
+        a = CStruct()
+        b = a.append(POOL["d1"])
+        assert len(a) == 0 and len(b) == 1
+        assert b.contains_id("d1")
+
+    def test_duplicate_append_rejected(self):
+        a = cs("d1")
+        with pytest.raises(ValueError):
+            a.append(POOL["d1"])
+
+    def test_duplicate_construction_rejected(self):
+        with pytest.raises(ValueError):
+            CStruct([POOL["d1"], POOL["d1"]])
+
+    def test_command_lookup(self):
+        a = cs("d1", "x1")
+        assert a.command("x1") is POOL["x1"]
+        assert a.command("zz") is None
+
+    def test_replace_swaps_status(self):
+        pending = Cmd("o1", commutative=False, status="pending")
+        accepted = Cmd("o1", commutative=False, status="accepted")
+        a = CStruct([pending])
+        b = a.replace(accepted)
+        assert b.command("o1").status == "accepted"
+        assert a.command("o1").status == "pending"
+
+    def test_replace_missing_rejected(self):
+        with pytest.raises(ValueError):
+            CStruct().replace(POOL["d1"])
+
+
+class TestPartialOrder:
+    def test_empty_is_prefix_of_everything(self):
+        assert CStruct().is_prefix_of(cs("d1", "x1"))
+
+    def test_sequence_prefix(self):
+        assert cs("x1").is_prefix_of(cs("x1", "x2"))
+        assert not cs("x2").is_prefix_of(cs("x1", "x2"))
+
+    def test_commuting_reorder_is_equal(self):
+        assert cs("d1", "d2").trace_equal(cs("d2", "d1"))
+
+    def test_non_commuting_reorder_not_equal(self):
+        assert not cs("x1", "x2").trace_equal(cs("x2", "x1"))
+        assert not cs("x1", "x2").is_prefix_of(cs("x2", "x1"))
+
+    def test_commutative_subset_is_prefix(self):
+        assert cs("d2").is_prefix_of(cs("d1", "d2", "d3"))
+
+    def test_physical_blocks_commutation(self):
+        # d1 after x1 cannot be pulled before x1.
+        assert not cs("d1").is_prefix_of(cs("x1", "d1"))
+        assert cs("x1").is_prefix_of(cs("x1", "d1"))
+
+    def test_status_must_match(self):
+        pending = CStruct([Cmd("o", status="pending")])
+        accepted = CStruct([Cmd("o", status="accepted")])
+        assert not pending.is_prefix_of(accepted)
+
+    @given(cstructs())
+    def test_reflexive(self, a):
+        assert a.is_prefix_of(a)
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_antisymmetric(self, a, b):
+        if a.is_prefix_of(b) and b.is_prefix_of(a):
+            assert a.trace_equal(b)
+
+    @given(cstructs(), cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_transitive(self, a, b, c):
+        if a.is_prefix_of(b) and b.is_prefix_of(c):
+            assert a.is_prefix_of(c)
+
+    @given(cstructs(), st.sampled_from(sorted(POOL)))
+    def test_append_extends(self, a, cid):
+        if not a.contains_id(cid):
+            assert a.is_prefix_of(a.append(POOL[cid]))
+
+
+class TestGlb:
+    def test_glb_of_identical(self):
+        a = cs("d1", "x1")
+        assert CStruct.glb([a, a]).trace_equal(a)
+
+    def test_glb_common_prefix_sequences(self):
+        a = cs("x1", "x2")
+        b = cs("x1")
+        assert CStruct.glb([a, b]).trace_equal(cs("x1"))
+
+    def test_glb_disjoint_sequences_empty(self):
+        assert len(CStruct.glb([cs("x1"), cs("x2")])) == 0
+
+    def test_glb_commutative_intersection(self):
+        a = cs("d1", "d2")
+        b = cs("d2", "d3")
+        assert CStruct.glb([a, b]).trace_equal(cs("d2"))
+
+    def test_glb_divergent_orders_empty(self):
+        a = cs("x1", "x2")
+        b = cs("x2", "x1")
+        assert len(CStruct.glb([a, b])) == 0
+
+    def test_glb_requires_input(self):
+        with pytest.raises(ValueError):
+            CStruct.glb([])
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_glb_is_lower_bound(self, a, b):
+        meet = CStruct.glb([a, b])
+        assert meet.is_prefix_of(a)
+        assert meet.is_prefix_of(b)
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_glb_commutes(self, a, b):
+        assert CStruct.glb([a, b]).trace_equal(CStruct.glb([b, a]))
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_glb_with_prefix_returns_prefix(self, a, b):
+        if a.is_prefix_of(b):
+            assert CStruct.glb([a, b]).trace_equal(a)
+
+
+class TestLub:
+    def test_lub_of_identical(self):
+        a = cs("d1", "x1")
+        assert CStruct.lub([a, a]).trace_equal(a)
+
+    def test_lub_sequence_extension(self):
+        assert CStruct.lub([cs("x1"), cs("x1", "x2")]).trace_equal(cs("x1", "x2"))
+
+    def test_lub_commutative_union(self):
+        merged = CStruct.lub([cs("d1", "d2"), cs("d2", "d3")])
+        assert merged is not None
+        assert merged.ids == {"d1", "d2", "d3"}
+
+    def test_lub_conflicting_sequences_incompatible(self):
+        # Two different physical updates with no common order: collision.
+        assert CStruct.lub([cs("x1"), cs("x2")]) is None
+
+    def test_lub_divergent_orders_incompatible(self):
+        assert CStruct.lub([cs("x1", "x2"), cs("x2", "x1")]) is None
+
+    def test_lub_status_divergence_incompatible(self):
+        accepted = CStruct([Cmd("o", status="accepted")])
+        rejected = CStruct([Cmd("o", status="rejected")])
+        assert CStruct.lub([accepted, rejected]) is None
+
+    def test_lub_chain_through_shared_element_incompatible(self):
+        # A says x1 < x2; B has x2 followed by new x... classic example:
+        # A=[x1, x2], B=[x2]: B ⊑ A? no (x2 not enabled in A).
+        # lub must fail because x2's histories differ.
+        assert CStruct.lub([cs("x1", "x2"), cs("x2")]) is None
+
+    def test_compatible_predicate(self):
+        assert CStruct.compatible([cs("d1"), cs("d2")])
+        assert not CStruct.compatible([cs("x1"), cs("x2")])
+
+    def test_lub_requires_input(self):
+        with pytest.raises(ValueError):
+            CStruct.lub([])
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_lub_is_upper_bound(self, a, b):
+        join = CStruct.lub([a, b])
+        if join is not None:
+            assert a.is_prefix_of(join)
+            assert b.is_prefix_of(join)
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_lub_commutes(self, a, b):
+        ab = CStruct.lub([a, b])
+        ba = CStruct.lub([b, a])
+        if ab is None:
+            assert ba is None
+        else:
+            assert ba is not None and ab.trace_equal(ba)
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_lub_with_prefix_returns_extension(self, a, b):
+        if a.is_prefix_of(b):
+            join = CStruct.lub([a, b])
+            assert join is not None and join.trace_equal(b)
+
+    @given(cstructs(), cstructs())
+    @settings(max_examples=200)
+    def test_glb_lub_consistency(self, a, b):
+        """If a join exists, the meet is dominated by both and the join
+        dominates the meet."""
+        join = CStruct.lub([a, b])
+        meet = CStruct.glb([a, b])
+        if join is not None:
+            assert meet.is_prefix_of(join)

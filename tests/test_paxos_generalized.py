@@ -1,0 +1,159 @@
+"""Tests for Generalized Paxos ProvedSafe (Algorithm 2, lines 49-57)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.cstruct import CStruct
+from repro.paxos.generalized import CStructReport, deterministic_merge, proved_safe
+from repro.paxos.quorum import QuorumSpec
+
+SPEC = QuorumSpec.for_replication(5)
+ACCEPTORS = [f"s{i}" for i in range(1, 6)]
+
+
+@dataclass(frozen=True)
+class Delta:
+    cid: str
+
+    @property
+    def command_id(self):
+        return self.cid
+
+    def commutes_with(self, other):
+        return isinstance(other, Delta)
+
+
+@dataclass(frozen=True)
+class Phys:
+    cid: str
+
+    @property
+    def command_id(self):
+        return self.cid
+
+    def commutes_with(self, other):
+        return False
+
+
+def rep(acceptor, ballot, commands):
+    return CStructReport(
+        acceptor=acceptor,
+        ballot=ballot,
+        value=CStruct(commands) if commands is not None else None,
+    )
+
+
+FAST0 = Ballot(0, fast=True)
+CLASSIC1 = Ballot(1, fast=False, proposer="m")
+
+
+class TestProvedSafe:
+    def test_no_votes_returns_empty(self):
+        reports = [rep(f"s{i}", None, None) for i in (1, 2, 3)]
+        safe = proved_safe(reports, SPEC, ACCEPTORS)
+        assert len(safe) == 0
+
+    def test_insufficient_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            proved_safe([rep("s1", FAST0, [])], SPEC, ACCEPTORS)
+
+    def test_unanimous_fast_votes_survive(self):
+        d1, d2 = Delta("d1"), Delta("d2")
+        reports = [
+            rep("s1", FAST0, [d1, d2]),
+            rep("s2", FAST0, [d2, d1]),  # commuted order: same trace
+            rep("s3", FAST0, [d1, d2]),
+        ]
+        safe = proved_safe(reports, SPEC, ACCEPTORS)
+        assert safe.ids == {"d1", "d2"}
+
+    def test_partially_seen_commutative_commands_all_survive(self):
+        # Quorum members saw different subsets of commuting deltas.  Any
+        # fast quorum's intersection glb keeps the common part; the lub of
+        # all gammas reunites everything that might have been chosen.
+        d1, d2, d3 = Delta("d1"), Delta("d2"), Delta("d3")
+        reports = [
+            rep("s1", FAST0, [d1, d2]),
+            rep("s2", FAST0, [d1, d2, d3]),
+            rep("s3", FAST0, [d2, d3]),
+        ]
+        safe = proved_safe(reports, SPEC, ACCEPTORS)
+        # d2 is common to every possible intersection; d1/d3 appear in some.
+        assert "d2" in safe.ids
+        assert safe.ids <= {"d1", "d2", "d3"}
+
+    def test_conflicting_physical_commands_resolved_deterministically(self):
+        # Two physical options in divergent orders: nothing was chosen
+        # (no fast quorum can agree), leader merges deterministically.
+        x1, x2 = Phys("x1"), Phys("x2")
+        reports = [
+            rep("s1", FAST0, [x1]),
+            rep("s2", FAST0, [x2]),
+            rep("s3", FAST0, [x1]),
+        ]
+        safe = proved_safe(reports, SPEC, ACCEPTORS)
+        assert safe.ids <= {"x1", "x2"}
+        # Deterministic across calls:
+        again = proved_safe(reports, SPEC, ACCEPTORS)
+        assert safe.trace_equal(again)
+
+    def test_highest_ballot_wins_over_older(self):
+        d_old, d_new = Delta("old"), Delta("new")
+        reports = [
+            rep("s1", FAST0, [d_old]),
+            rep("s2", CLASSIC1, [d_new]),
+            rep("s3", CLASSIC1, [d_new]),
+        ]
+        safe = proved_safe(reports, SPEC, ACCEPTORS)
+        # k = classic ballot 1; classic quorums {s2,s3,x} need both
+        # responders; both agree on [new].
+        assert safe.ids == {"new"}
+
+    def test_classic_ballot_votes_use_classic_quorums(self):
+        d = Delta("d")
+        reports = [
+            rep("s1", CLASSIC1, [d]),
+            rep("s2", None, None),
+            rep("s3", None, None),
+        ]
+        safe = proved_safe(reports, SPEC, ACCEPTORS)
+        # Classic quorums containing s1 plus two non-responders could have
+        # chosen [d]; quorums within responders that exclude s1 could not.
+        # {s1} ⊆ some classic quorum {s1,s4,s5}: intersection with Q={s1},
+        # all voted, γ = [d]. So [d] must survive.
+        assert safe.ids == {"d"}
+
+
+class TestDeterministicMerge:
+    def test_empty_input(self):
+        assert len(deterministic_merge([])) == 0
+        assert len(deterministic_merge([None, None])) == 0
+
+    def test_single_passthrough(self):
+        c = CStruct([Delta("d1")])
+        assert deterministic_merge([c]) is c
+
+    def test_merges_disjoint_commands(self):
+        a = CStruct([Delta("d1")])
+        b = CStruct([Delta("d2")])
+        merged = deterministic_merge([a, b])
+        assert merged.ids == {"d1", "d2"}
+
+    def test_keeps_common_prefix_first(self):
+        x1, x2, x3 = Phys("x1"), Phys("x2"), Phys("x3")
+        a = CStruct([x1, x2])
+        b = CStruct([x1, x3])
+        merged = deterministic_merge([a, b])
+        assert merged.commands[0].command_id == "x1"
+        assert merged.ids == {"x1", "x2", "x3"}
+
+    def test_deterministic_order(self):
+        a = CStruct([Delta("b")])
+        b = CStruct([Delta("a")])
+        m1 = deterministic_merge([a, b])
+        m2 = deterministic_merge([b, a])
+        assert [c.command_id for c in m1.commands] == [
+            c.command_id for c in m2.commands
+        ] or m1.trace_equal(m2)

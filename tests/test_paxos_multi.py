@@ -1,0 +1,123 @@
+"""Unit tests for Multi-Paxos mastership ranges."""
+
+from repro.paxos.ballot import Ballot, BallotRange, INITIAL_FAST_BALLOT
+from repro.paxos.multi import MastershipState, MastershipTable
+
+
+def classic(round_, proposer="m"):
+    return Ballot(round_, fast=False, proposer=proposer)
+
+
+def fast(round_, proposer=""):
+    return Ballot(round_, fast=True, proposer=proposer)
+
+
+class TestMastershipState:
+    def test_default_is_fast_everywhere(self):
+        state = MastershipState()
+        assert state.is_fast(0)
+        assert state.is_fast(10**6)
+        assert state.effective_ballot(5) == INITIAL_FAST_BALLOT
+
+    def test_grant_higher_ballot(self):
+        state = MastershipState()
+        granted = state.grant(BallotRange(0, 99, classic(1)))
+        assert granted
+        assert not state.is_fast(50)
+        assert state.effective_ballot(50) == classic(1)
+        # Outside the range the default still applies.
+        assert state.is_fast(100)
+
+    def test_grant_lower_ballot_rejected(self):
+        state = MastershipState()
+        assert state.grant(BallotRange(0, None, classic(5)))
+        assert not state.grant(BallotRange(10, 20, classic(3)))
+        assert state.effective_ballot(15) == classic(5)
+
+    def test_equal_ballot_rescopes_own_lease(self):
+        """An equal-ballot grant is the same master re-scoping its lease:
+        accepted, and authoritative for the instances it covers."""
+        state = MastershipState()
+        assert state.grant(BallotRange(0, 10, classic(2)))
+        assert state.grant(BallotRange(5, 15, classic(2)))
+        assert state.effective_ballot(3) == classic(2)  # head preserved
+        assert state.effective_ballot(12) == classic(2)
+        assert state.is_fast(16)  # beyond the re-scoped lease: default
+
+    def test_bounded_regrant_truncates_open_ended_promise(self):
+        """The §3.3.2 γ mechanics: recovery's Phase 1 takes an open-ended
+        classic promise [v, ∞); the post-recovery grant [v, v+γ-1] with the
+        same ballot must supersede it so instances past the horizon revert
+        to fast (regression: γ had no effect while the ∞ promise shadowed
+        every later instance)."""
+        state = MastershipState()
+        assert state.grant(BallotRange(7, None, classic(3)))
+        assert not state.is_fast(1_000)
+        gamma = 10
+        assert state.grant(BallotRange(7, 7 + gamma - 1, classic(3)))
+        assert not state.is_fast(7)
+        assert not state.is_fast(16)
+        assert state.is_fast(17)  # first instance past the γ horizon
+        assert state.is_fast(1_000)
+
+    def test_non_overlapping_grants_coexist(self):
+        state = MastershipState()
+        assert state.grant(BallotRange(0, 9, classic(1, "a")))
+        assert state.grant(BallotRange(10, 19, classic(1, "b")))
+        assert state.effective_ballot(5).proposer == "a"
+        assert state.effective_ballot(15).proposer == "b"
+
+    def test_round_robin_masters_per_instance(self):
+        # §3.1.2: "supports custom master policies like round-robin".
+        state = MastershipState()
+        for i, master in enumerate(["a", "b", "c"]):
+            assert state.grant(BallotRange(i, i, classic(1, master)))
+        assert state.effective_ballot(0).proposer == "a"
+        assert state.effective_ballot(1).proposer == "b"
+        assert state.effective_ballot(2).proposer == "c"
+
+    def test_higher_grant_shadows_on_overlap(self):
+        state = MastershipState()
+        assert state.grant(BallotRange(0, None, classic(1, "old")))
+        assert state.grant(BallotRange(50, None, classic(2, "new")))
+        assert state.effective_ballot(10).proposer == "old"
+        assert state.effective_ballot(60).proposer == "new"
+
+    def test_fast_range_grant_restores_fast(self):
+        # §3.3.2: after γ classic instances the protocol probes fast again.
+        state = MastershipState()
+        assert state.grant(BallotRange(0, 99, classic(1)))
+        assert state.grant(BallotRange(100, None, fast(2)))
+        assert not state.is_fast(99)
+        assert state.is_fast(100)
+
+    def test_compact_drops_closed_ranges(self):
+        state = MastershipState()
+        state.grant(BallotRange(0, 9, classic(1)))
+        state.grant(BallotRange(10, 19, classic(2)))
+        state.grant(BallotRange(20, None, classic(3)))
+        removed = state.compact(below_instance=15)
+        assert removed == 1
+        assert state.effective_ballot(12) == classic(2)
+
+
+class TestMastershipTable:
+    def test_default_records_not_materialized(self):
+        table = MastershipTable()
+        assert table.is_fast("items", "k1", 0)
+        assert table.peek("items", "k1") is None
+        assert len(table) == 0
+
+    def test_state_created_on_demand(self):
+        table = MastershipTable()
+        state = table.state("items", "k1")
+        state.grant(BallotRange(0, 10, classic(1)))
+        assert not table.is_fast("items", "k1", 5)
+        assert table.is_fast("items", "k2", 5)
+        assert len(table) == 1
+
+    def test_same_key_different_table_isolated(self):
+        table = MastershipTable()
+        table.state("items", "k").grant(BallotRange(0, None, classic(1)))
+        assert table.is_fast("orders", "k", 0)
+        assert not table.is_fast("items", "k", 0)

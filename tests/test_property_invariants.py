@@ -1,0 +1,278 @@
+"""Cross-module property-based tests on protocol invariants.
+
+Complements the per-module property tests (cstruct lattice laws, quorum
+arithmetic, demarcation bounds) with invariants that the protocol relies
+on globally:
+
+* mastership grant/supersede algebra (the §3.3.2 γ mechanics);
+* record version chains are strictly monotone and catch-up is a join;
+* the simulation kernel is deterministic under identical inputs;
+* commutative deltas commute at the storage layer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.paxos.ballot import Ballot, BallotRange
+from repro.paxos.multi import MastershipState
+from repro.sim.core import Simulator
+from repro.storage.record import Record
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+ballots = st.builds(
+    Ballot,
+    round=st.integers(min_value=0, max_value=6),
+    fast=st.booleans(),
+    proposer=st.sampled_from(["a", "b", "c"]),
+)
+
+
+@st.composite
+def ballot_ranges(draw):
+    start = draw(st.integers(min_value=0, max_value=30))
+    length = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=30)))
+    end = None if length is None else start + length
+    return BallotRange(start, end, draw(ballots))
+
+
+PROBE_INSTANCES = tuple(range(0, 70, 3))
+
+
+def effective_map(state: MastershipState):
+    return {i: state.effective_range(i) for i in PROBE_INSTANCES}
+
+
+# ----------------------------------------------------------------------
+# Mastership algebra
+# ----------------------------------------------------------------------
+class TestMastershipProperties:
+    @given(st.lists(ballot_ranges(), max_size=8), ballot_ranges())
+    @settings(max_examples=200)
+    def test_refused_grant_leaves_state_unchanged(self, history, attempt):
+        state = MastershipState()
+        for grant in history:
+            state.grant(grant)
+        before = effective_map(state)
+        if not state.grant(attempt):
+            assert effective_map(state) == before
+
+    @given(st.lists(ballot_ranges(), max_size=8), ballot_ranges())
+    @settings(max_examples=200)
+    def test_successful_grant_is_authoritative_on_its_range(
+        self, history, attempt
+    ):
+        state = MastershipState()
+        for grant in history:
+            state.grant(grant)
+        if state.grant(attempt):
+            for i in PROBE_INSTANCES:
+                if attempt.covers(i):
+                    assert state.effective_range(i) == attempt
+
+    @given(st.lists(ballot_ranges(), max_size=8))
+    @settings(max_examples=200)
+    def test_refusal_iff_strictly_higher_overlap(self, history):
+        """grant() refuses exactly when a covered instance is promised to
+        a strictly higher ballot."""
+        state = MastershipState()
+        for attempt in history:
+            conflicted = any(
+                state.effective_range(i).ballot > attempt.ballot
+                for i in PROBE_INSTANCES
+                if attempt.covers(i)
+            )
+            granted = state.grant(attempt)
+            if granted:
+                # No probed covered instance may now outrank the grant.
+                for i in PROBE_INSTANCES:
+                    if attempt.covers(i):
+                        assert state.effective_range(i).ballot == attempt.ballot
+            else:
+                assert conflicted or self._unprobed_conflict(state, attempt)
+
+    @staticmethod
+    def _unprobed_conflict(state, attempt):
+        """Refusals caused by overlaps outside the probe grid."""
+        for existing in state.ranges:
+            if existing.ballot > attempt.ballot:
+                a_end = (
+                    float("inf")
+                    if existing.end_instance is None
+                    else existing.end_instance
+                )
+                b_end = (
+                    float("inf")
+                    if attempt.end_instance is None
+                    else attempt.end_instance
+                )
+                if existing.start_instance <= b_end and attempt.start_instance <= a_end:
+                    return True
+        return False
+
+    @given(st.lists(ballot_ranges(), max_size=10))
+    @settings(max_examples=200)
+    def test_default_applies_outside_all_grants(self, history):
+        state = MastershipState()
+        for grant in history:
+            state.grant(grant)
+        horizon = max(
+            (
+                g.end_instance
+                for g in state.ranges
+                if g.end_instance is not None
+            ),
+            default=-1,
+        )
+        has_open_ended = any(g.end_instance is None for g in state.ranges)
+        if not has_open_ended:
+            assert state.is_fast(horizon + 1)
+            assert state.effective_range(horizon + 1) == BallotRange.default()
+
+
+# ----------------------------------------------------------------------
+# Record version chains
+# ----------------------------------------------------------------------
+write_sequences = st.lists(
+    st.one_of(
+        st.dictionaries(
+            st.sampled_from(["stock", "price"]),
+            st.integers(min_value=0, max_value=100),
+            min_size=1,
+            max_size=2,
+        ),
+        st.none(),  # delete
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestRecordChainProperties:
+    @given(write_sequences)
+    @settings(max_examples=200)
+    def test_versions_strictly_increase(self, writes):
+        record = Record("t", "k")
+        seen = [record.current_version]
+        for value in writes:
+            if value is None:
+                if record.exists:
+                    record.commit_delete()
+                    seen.append(record.current_version)
+            else:
+                record.commit_value(value)
+                seen.append(record.current_version)
+        assert seen == sorted(set(seen))
+
+    @given(write_sequences)
+    @settings(max_examples=200)
+    def test_snapshot_reflects_last_write(self, writes):
+        record = Record("t", "k")
+        last_value = None
+        for value in writes:
+            if value is None:
+                if record.exists:
+                    record.commit_delete()
+                    last_value = None
+            else:
+                record.commit_value(value)
+                last_value = dict(value)
+        snapshot = record.snapshot()
+        if last_value is None:
+            assert not snapshot.exists
+        else:
+            assert snapshot.exists and snapshot.value == last_value
+
+    @given(
+        write_sequences,
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=200)
+    def test_catch_up_is_monotone_join(self, writes, lag_version):
+        """catch_up never regresses: applying any (version, value) with
+        version <= current is a no-op; higher versions win wholesale."""
+        record = Record("t", "k")
+        for value in writes:
+            if value is None:
+                if record.exists:
+                    record.commit_delete()
+            else:
+                record.commit_value(value)
+        version_before = record.current_version
+        snapshot_before = record.snapshot()
+        changed = record.catch_up(lag_version, {"stock": 1})
+        if lag_version <= version_before:
+            assert not changed
+            assert record.current_version == version_before
+            assert record.snapshot().value == snapshot_before.value
+        else:
+            assert changed
+            assert record.current_version == lag_version
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["stock", "price"]),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=200)
+    def test_deltas_commute_at_storage_layer(self, deltas):
+        """Any permutation of commutative deltas yields the same value."""
+        forward = Record("t", "k")
+        forward.commit_value({"stock": 100, "price": 100})
+        backward = Record("t", "k")
+        backward.commit_value({"stock": 100, "price": 100})
+        for attribute, delta in deltas:
+            forward.commit_delta(attribute, delta)
+        for attribute, delta in reversed(deltas):
+            backward.commit_delta(attribute, delta)
+        assert forward.snapshot().value == backward.snapshot().value
+        assert forward.current_version == backward.current_version
+
+
+# ----------------------------------------------------------------------
+# Kernel determinism
+# ----------------------------------------------------------------------
+class TestKernelDeterminism:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.integers(min_value=0, max_value=9),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_identical_schedules_replay_identically(self, schedule):
+        def run():
+            sim = Simulator()
+            trace = []
+            for delay, tag in schedule:
+                sim.schedule(delay, lambda t=tag: trace.append((sim.now, t)))
+            sim.run()
+            return trace
+
+        assert run() == run()
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_same_instant_fires_in_schedule_order(self, delays):
+        """Events scheduled for the same time fire in submission order."""
+        sim = Simulator()
+        fired = []
+        for index, _delay in enumerate(delays):
+            sim.schedule(5.0, fired.append, index)
+        sim.run()
+        assert fired == list(range(len(delays)))

@@ -1,0 +1,377 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.core import (
+    Future,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, fired.append, "c")
+        sim.schedule(10.0, fired.append, "a")
+        sim.schedule(20.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(5.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42.5]
+        assert sim.now == 42.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(100.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_horizon_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "early")
+        sim.schedule(100.0, fired.append, "late")
+        sim.run(until=50.0)
+        assert fired == ["early"]
+        assert sim.now == 50.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_with_empty_queue_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=500.0)
+        assert sim.now == 500.0
+
+    def test_event_at_exact_horizon_still_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50.0, fired.append, "edge")
+        sim.run(until=50.0)
+        assert fired == ["edge"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_nested_run_rejected(self):
+        sim = Simulator()
+
+        def inner():
+            sim.run()
+
+        sim.schedule(0.0, inner)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(5.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 6.0
+
+
+class TestFuture:
+    def test_resolve_and_result(self):
+        sim = Simulator()
+        fut = sim.future()
+        assert not fut.done
+        fut.resolve(7)
+        assert fut.done
+        assert fut.result() == 7
+
+    def test_result_before_resolution_raises(self):
+        sim = Simulator()
+        fut = sim.future()
+        with pytest.raises(SimulationError):
+            fut.result()
+
+    def test_double_resolve_raises(self):
+        sim = Simulator()
+        fut = sim.future()
+        fut.resolve(1)
+        with pytest.raises(SimulationError):
+            fut.resolve(2)
+
+    def test_try_resolve_reports_winner(self):
+        sim = Simulator()
+        fut = sim.future()
+        assert fut.try_resolve("first") is True
+        assert fut.try_resolve("second") is False
+        assert fut.result() == "first"
+
+    def test_fail_propagates_exception(self):
+        sim = Simulator()
+        fut = sim.future()
+        fut.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            fut.result()
+
+    def test_callback_after_resolution_runs_immediately(self):
+        sim = Simulator()
+        fut = sim.future()
+        fut.resolve(3)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == [3]
+
+    def test_callbacks_run_in_registration_order(self):
+        sim = Simulator()
+        fut = sim.future()
+        order = []
+        fut.add_done_callback(lambda f: order.append(1))
+        fut.add_done_callback(lambda f: order.append(2))
+        fut.resolve(None)
+        assert order == [1, 2]
+
+    def test_run_until_returns_result(self):
+        sim = Simulator()
+        fut = sim.future()
+        sim.schedule(25.0, fut.resolve, "done")
+        assert sim.run_until(fut) == "done"
+        assert sim.now == 25.0
+
+    def test_run_until_deadlock_detected(self):
+        sim = Simulator()
+        fut = sim.future()
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until(fut)
+
+
+class TestAggregates:
+    def test_all_of_collects_results_in_input_order(self):
+        sim = Simulator()
+        futs = [sim.future() for _ in range(3)]
+        agg = all_of(sim, futs)
+        futs[2].resolve("c")
+        futs[0].resolve("a")
+        assert not agg.done
+        futs[1].resolve("b")
+        assert agg.done
+        assert agg.result() == ["a", "b", "c"]
+
+    def test_all_of_empty_resolves_immediately(self):
+        sim = Simulator()
+        agg = all_of(sim, [])
+        assert agg.done
+        assert agg.result() == []
+
+    def test_all_of_fails_fast(self):
+        sim = Simulator()
+        futs = [sim.future(), sim.future()]
+        agg = all_of(sim, futs)
+        futs[0].fail(RuntimeError("nope"))
+        assert agg.done
+        with pytest.raises(RuntimeError):
+            agg.result()
+
+    def test_any_of_takes_first(self):
+        sim = Simulator()
+        futs = [sim.future(), sim.future()]
+        agg = any_of(sim, futs)
+        futs[1].resolve("winner")
+        assert agg.result() == "winner"
+        futs[0].resolve("loser")  # late resolution must not disturb aggregate
+        assert agg.result() == "winner"
+
+    def test_any_of_requires_inputs(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            any_of(sim, [])
+
+
+class TestProcess:
+    def test_process_delay_yields(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 10.0
+            trace.append(sim.now)
+            yield 5.0
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 10.0, 15.0]
+
+    def test_process_waits_on_future(self):
+        sim = Simulator()
+        fut = sim.future()
+        results = []
+
+        def proc():
+            value = yield fut
+            results.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.schedule(30.0, fut.resolve, "payload")
+        sim.run()
+        assert results == [(30.0, "payload")]
+
+    def test_process_return_value_resolves_completion(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "finished"
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.completion.result() == "finished"
+
+    def test_process_exception_fails_completion(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            raise ValueError("inside")
+
+        process = sim.spawn(proc())
+        sim.run()
+        with pytest.raises(ValueError, match="inside"):
+            process.completion.result()
+
+    def test_failed_future_raises_inside_process(self):
+        sim = Simulator()
+        fut = sim.future()
+        caught = []
+
+        def proc():
+            try:
+                yield fut
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(proc())
+        sim.schedule(5.0, fut.fail, RuntimeError("wire failure"))
+        sim.run()
+        assert caught == ["wire failure"]
+
+    def test_stop_terminates_process(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            while True:
+                trace.append(sim.now)
+                yield 10.0
+
+        process = sim.spawn(proc())
+        sim.schedule(35.0, process.stop)
+        sim.run()
+        assert trace == [0.0, 10.0, 20.0, 30.0]
+        assert process.completion.result() is None
+
+    def test_yield_none_reschedules_immediately(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append("a")
+            yield None
+            trace.append("b")
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == ["a", "b"]
+        assert sim.now == 0.0
+
+    def test_yield_bad_type_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a future"
+
+        process = sim.spawn(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.completion.result()
+
+    def test_sleep_future(self):
+        sim = Simulator()
+        done_at = []
+
+        def proc():
+            yield sim.sleep(12.0)
+            done_at.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert done_at == [12.0]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name, period):
+            for _ in range(3):
+                yield period
+                trace.append((name, sim.now))
+
+        sim.spawn(proc("fast", 10.0))
+        sim.spawn(proc("slow", 25.0))
+        sim.run()
+        assert trace == [
+            ("fast", 10.0),
+            ("fast", 20.0),
+            ("slow", 25.0),
+            ("fast", 30.0),
+            ("slow", 50.0),
+            ("slow", 75.0),
+        ]

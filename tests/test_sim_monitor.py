@@ -1,0 +1,160 @@
+"""Unit tests for latency recorders, counters and time series."""
+
+import pytest
+
+from repro.sim.monitor import (
+    CounterSet,
+    LatencyRecorder,
+    TimeSeries,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([42.0], 0.5) == 42.0
+
+    def test_median_of_odd_count(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_median_interpolates_even_count(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0 + 4.0, 9.0]  # already sorted requirement: [5,5,9]
+        data = sorted(data)
+        assert percentile(data, 0.0) == data[0]
+        assert percentile(data, 1.0) == data[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_matches_numpy_linear_method(self):
+        numpy = pytest.importorskip("numpy")
+        data = sorted([3.1, 0.4, 9.9, 7.2, 5.5, 2.2, 8.8])
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            assert percentile(data, fraction) == pytest.approx(
+                float(numpy.percentile(data, fraction * 100))
+            )
+
+
+class TestLatencyRecorder:
+    def test_median_and_percentiles(self):
+        rec = LatencyRecorder("lat")
+        rec.extend([100.0, 200.0, 300.0, 400.0, 500.0])
+        assert rec.median == 300.0
+        assert rec.percentile(0.0) == 100.0
+        assert rec.percentile(1.0) == 500.0
+
+    def test_mean_min_max(self):
+        rec = LatencyRecorder()
+        rec.extend([10.0, 20.0, 60.0])
+        assert rec.mean == pytest.approx(30.0)
+        assert rec.minimum == 10.0
+        assert rec.maximum == 60.0
+
+    def test_cache_invalidated_on_add(self):
+        rec = LatencyRecorder()
+        rec.add(10.0)
+        assert rec.median == 10.0
+        rec.add(30.0)
+        assert rec.median == pytest.approx(20.0)
+
+    def test_cdf_points_monotonic(self):
+        rec = LatencyRecorder()
+        rec.extend([5.0, 1.0, 9.0, 3.0, 7.0])
+        points = rec.cdf_points(resolution=10)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[0] == 0.0 and ys[-1] == 1.0
+
+    def test_fraction_below(self):
+        rec = LatencyRecorder()
+        rec.extend([100.0, 200.0, 300.0, 400.0])
+        assert rec.fraction_below(250.0) == 0.5
+        assert rec.fraction_below(100.0) == 0.0
+        assert rec.fraction_below(10_000.0) == 1.0
+
+    def test_boxplot_stats(self):
+        rec = LatencyRecorder()
+        rec.extend(float(v) for v in range(1, 102))  # 1..101
+        box = rec.boxplot()
+        assert box.median == 51.0
+        assert box.q1 == 26.0
+        assert box.q3 == 76.0
+        assert box.minimum == 1.0
+        assert box.maximum == 101.0
+        assert box.count == 101
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 2.0, 3.0])
+        summary = rec.summary()
+        assert set(summary) == {"count", "mean", "p50", "p90", "p99", "min", "max"}
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary() == {"count": 0}
+
+    def test_timestamped_pairs(self):
+        rec = LatencyRecorder()
+        rec.add(150.0, timestamp=1000.0)
+        rec.add(170.0, timestamp=2000.0)
+        assert rec.timestamped == [(1000.0, 150.0), (2000.0, 170.0)]
+
+
+class TestCounterSet:
+    def test_increment_and_get(self):
+        counters = CounterSet()
+        counters.increment("commits")
+        counters.increment("commits", 4)
+        assert counters.get("commits") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert CounterSet().get("absent") == 0
+
+    def test_as_dict_sorted(self):
+        counters = CounterSet()
+        counters.increment("b")
+        counters.increment("a")
+        assert list(counters.as_dict()) == ["a", "b"]
+
+    def test_contains(self):
+        counters = CounterSet()
+        counters.increment("x")
+        assert "x" in counters
+        assert "y" not in counters
+
+
+class TestTimeSeries:
+    def test_bucket_means(self):
+        series = TimeSeries("lat")
+        series.add(0.0, 100.0)
+        series.add(500.0, 200.0)
+        series.add(1500.0, 300.0)
+        buckets = series.bucket_means(1000.0)
+        assert buckets == [(0.0, 150.0, 2), (1000.0, 300.0, 1)]
+
+    def test_mean_between(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.add(t * 100.0, float(t))
+        assert series.mean_between(0.0, 500.0) == pytest.approx(2.0)
+
+    def test_mean_between_empty_raises(self):
+        series = TimeSeries()
+        with pytest.raises(ValueError):
+            series.mean_between(0.0, 1.0)
+
+    def test_points_are_copies(self):
+        series = TimeSeries()
+        series.add(1.0, 2.0)
+        pts = series.points
+        pts.append((9.0, 9.0))
+        assert len(series.points) == 1

@@ -1,0 +1,264 @@
+"""Unit tests for the WAN network model and failure injection."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.network import (
+    DEFAULT_RTT_MATRIX,
+    EC2_REGIONS,
+    LatencyModel,
+    Network,
+)
+from repro.sim.node import Node
+from repro.sim.rng import RngRegistry
+
+
+class Recorder(Node):
+    """Test node that logs every delivery with its arrival time."""
+
+    def __init__(self, sim, network, node_id, dc):
+        super().__init__(sim, network, node_id, dc)
+        self.received = []
+
+    def on_message(self, message, src_id):
+        self.received.append((self.sim.now, message, src_id))
+
+
+def build(seed=7, jitter=0.0):
+    sim = Simulator()
+    registry = RngRegistry(seed=seed)
+    model = LatencyModel(jitter_sigma=jitter, rng_registry=registry)
+    network = Network(sim, latency_model=model, rng_registry=registry)
+    return sim, network
+
+
+class TestLatencyModel:
+    def test_matrix_covers_all_region_pairs(self):
+        for i, a in enumerate(EC2_REGIONS):
+            for b in EC2_REGIONS[i + 1:]:
+                assert frozenset((a, b)) in DEFAULT_RTT_MATRIX
+
+    def test_intra_dc_rtt_is_small(self):
+        model = LatencyModel()
+        assert model.base_rtt("us-west", "us-west") == pytest.approx(1.0)
+
+    def test_symmetric_rtt(self):
+        model = LatencyModel()
+        assert model.base_rtt("us-west", "eu-west") == model.base_rtt(
+            "eu-west", "us-west"
+        )
+
+    def test_unknown_pair_raises(self):
+        model = LatencyModel()
+        with pytest.raises(SimulationError):
+            model.base_rtt("us-west", "mars")
+
+    def test_one_way_is_half_rtt_plus_overhead_without_jitter(self):
+        model = LatencyModel(jitter_sigma=0.0, processing_overhead=0.5)
+        sample = model.one_way("us-west", "us-east")
+        assert sample == pytest.approx(80.0 / 2 + 0.5)
+
+    def test_jitter_varies_samples_deterministically(self):
+        a = LatencyModel(jitter_sigma=0.2, rng_registry=RngRegistry(seed=3))
+        b = LatencyModel(jitter_sigma=0.2, rng_registry=RngRegistry(seed=3))
+        seq_a = [a.one_way("us-west", "eu-west") for _ in range(10)]
+        seq_b = [b.one_way("us-west", "eu-west") for _ in range(10)]
+        assert seq_a == seq_b
+        assert len(set(seq_a)) > 1
+
+    def test_sorted_rtts_orders_by_distance(self):
+        model = LatencyModel()
+        ordered = model.sorted_rtts_from("us-west")
+        distances = [rtt for _, rtt in ordered]
+        assert distances == sorted(distances)
+        assert ordered[0][0] == "us-east"  # nearest to us-west in matrix
+
+    def test_fourth_closest_is_farther_than_third(self):
+        # The QW-3 vs QW-4 gap in Figure 3 relies on this property.
+        model = LatencyModel()
+        for region in EC2_REGIONS:
+            ordered = model.sorted_rtts_from(region)
+            assert ordered[3][1] > ordered[2][1]
+
+
+class TestDelivery:
+    def test_message_arrives_after_one_way_latency(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        a.send("b", "hello")
+        sim.run()
+        assert len(b.received) == 1
+        arrival, message, src = b.received[0]
+        assert message == "hello"
+        assert src == "a"
+        assert arrival == pytest.approx(40.5)  # 80/2 + 0.5 overhead
+
+    def test_intra_dc_delivery_fast(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-west")
+        a.send("b", "ping")
+        sim.run()
+        assert b.received[0][0] == pytest.approx(1.0)  # 1/2 + 0.5
+
+    def test_broadcast_reaches_all(self):
+        sim, network = build()
+        src = Recorder(sim, network, "src", "us-west")
+        sinks = [
+            Recorder(sim, network, f"n{i}", dc)
+            for i, dc in enumerate(EC2_REGIONS)
+        ]
+        count = src.broadcast([s.node_id for s in sinks], "msg")
+        sim.run()
+        assert count == 5
+        assert all(len(s.received) == 1 for s in sinks)
+
+    def test_duplicate_node_id_rejected(self):
+        sim, network = build()
+        Recorder(sim, network, "dup", "us-west")
+        with pytest.raises(SimulationError):
+            Recorder(sim, network, "dup", "us-east")
+
+    def test_unknown_destination_counts_as_drop(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        a.send("ghost", "lost")
+        sim.run()
+        assert network.stats.messages_dropped == 1
+
+    def test_stats_track_sent_and_delivered(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        for _ in range(3):
+            a.send("b", "x")
+        sim.run()
+        assert network.stats.messages_sent == 3
+        assert network.stats.messages_delivered == 3
+        assert network.stats.per_type["str"] == 3
+
+
+class TestFailureInjection:
+    def test_failed_dc_receives_nothing(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        network.fail_datacenter("us-east")
+        a.send("b", "lost")
+        sim.run()
+        assert b.received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_failed_dc_sends_nothing(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-east")
+        b = Recorder(sim, network, "b", "us-west")
+        network.fail_datacenter("us-east")
+        a.send("b", "lost")
+        sim.run()
+        assert b.received == []
+
+    def test_in_flight_message_lost_when_dc_fails(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        a.send("b", "in-flight")
+        sim.schedule(10.0, network.fail_datacenter, "us-east")
+        sim.run()
+        assert b.received == []
+
+    def test_recovery_restores_traffic(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        network.fail_datacenter("us-east")
+        network.recover_datacenter("us-east")
+        a.send("b", "back")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partition_blocks_both_directions(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "eu-west")
+        network.partition("us-west", "eu-west")
+        a.send("b", "x")
+        b.send("a", "y")
+        sim.run()
+        assert a.received == [] and b.received == []
+        network.heal_partition("us-west", "eu-west")
+        a.send("b", "x2")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partition_leaves_other_links_up(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        c = Recorder(sim, network, "c", "ap-northeast")
+        network.partition("us-west", "eu-west")
+        a.send("c", "ok")
+        sim.run()
+        assert len(c.received) == 1
+
+    def test_drop_rate_loses_messages(self):
+        sim, network = build(seed=11)
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        network.set_drop_rate(0.5)
+        for _ in range(200):
+            a.send("b", "maybe")
+        sim.run()
+        assert 0 < len(b.received) < 200
+        assert network.stats.messages_dropped == 200 - len(b.received)
+
+    def test_invalid_drop_rate_rejected(self):
+        sim, network = build()
+        with pytest.raises(SimulationError):
+            network.set_drop_rate(1.5)
+
+
+class TestNodeDispatch:
+    def test_handler_lookup_by_message_type(self):
+        sim, network = build()
+
+        class Ping:
+            pass
+
+        class PongNode(Node):
+            def __init__(self, *args):
+                super().__init__(*args)
+                self.pings = 0
+
+            def handle_ping(self, message, src_id):
+                self.pings += 1
+
+        a = Recorder(sim, network, "a", "us-west")
+        b = PongNode(sim, network, "b", "us-west")
+        a.send("b", Ping())
+        sim.run()
+        assert b.pings == 1
+
+    def test_missing_handler_raises(self):
+        sim, network = build()
+
+        class Strange:
+            pass
+
+        class Deaf(Node):
+            pass
+
+        a = Recorder(sim, network, "a", "us-west")
+        Deaf(sim, network, "deaf", "us-west")
+        a.send("deaf", Strange())
+        with pytest.raises(NotImplementedError):
+            sim.run()
+
+    def test_timer_fires(self):
+        sim, network = build()
+        node = Recorder(sim, network, "n", "us-west")
+        fired = []
+        node.set_timer(15.0, fired.append, "t")
+        sim.run()
+        assert fired == ["t"]
+        assert sim.now == 15.0

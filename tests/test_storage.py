@@ -1,0 +1,283 @@
+"""Unit tests for the storage substrate: schemas, records, store, WAL."""
+
+import pytest
+
+from repro.storage import (
+    Constraint,
+    HashPartitioner,
+    RangePartitioner,
+    Record,
+    RecordStore,
+    StorageError,
+    TableSchema,
+    TOMBSTONE,
+    WriteAheadLog,
+)
+from repro.storage.partition import stable_hash
+
+
+class TestConstraint:
+    def test_allows_within_bounds(self):
+        c = Constraint(minimum=0, maximum=10)
+        assert c.allows(0) and c.allows(10) and c.allows(5)
+
+    def test_rejects_out_of_bounds(self):
+        c = Constraint(minimum=0, maximum=10)
+        assert not c.allows(-1)
+        assert not c.allows(11)
+
+    def test_one_sided_bounds(self):
+        assert Constraint(minimum=0).allows(1e12)
+        assert not Constraint(maximum=5).allows(6)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint(minimum=10, maximum=0)
+
+    def test_bounded_flags(self):
+        assert Constraint(minimum=0).bounded_below
+        assert not Constraint(minimum=0).bounded_above
+
+
+class TestTableSchema:
+    def test_constraint_lookup(self):
+        schema = TableSchema("items", constraints={"stock": Constraint(minimum=0)})
+        assert schema.constraint("stock").minimum == 0
+        assert schema.constraint("price") is None
+
+    def test_check_value(self):
+        schema = TableSchema("items", constraints={"stock": Constraint(minimum=0)})
+        assert schema.check_value({"stock": 3, "name": "x"})
+        assert not schema.check_value({"stock": -1})
+        assert schema.check_value({"name": "no stock attribute"})
+
+    def test_check_value_non_numeric_constrained_attr(self):
+        schema = TableSchema("items", constraints={"stock": Constraint(minimum=0)})
+        assert not schema.check_value({"stock": "many"})
+
+
+class TestRecord:
+    def test_fresh_record_absent_at_version_zero(self):
+        record = Record("items", "k1")
+        assert not record.exists
+        assert record.current_version == 0
+        snap = record.snapshot()
+        assert (snap.exists, snap.value, snap.version) == (False, None, 0)
+
+    def test_commit_value_bumps_version(self):
+        record = Record("items", "k1")
+        assert record.commit_value({"stock": 5}) == 1
+        assert record.commit_value({"stock": 4}) == 2
+        snap = record.snapshot()
+        assert snap.version == 2
+        assert snap.value == {"stock": 4}
+
+    def test_snapshot_value_is_a_copy(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": 5})
+        snap = record.snapshot()
+        snap.value["stock"] = 999
+        assert record.snapshot().value == {"stock": 5}
+
+    def test_commit_value_copies_input(self):
+        record = Record("items", "k1")
+        value = {"stock": 5}
+        record.commit_value(value)
+        value["stock"] = 0
+        assert record.snapshot().value == {"stock": 5}
+
+    def test_delete_leaves_tombstone_version(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": 5})
+        assert record.commit_delete() == 2
+        assert not record.exists
+        assert record.current_version == 2
+        assert record.version_chain()[-1].is_tombstone
+
+    def test_reinsert_after_delete(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": 5})
+        record.commit_delete()
+        assert record.commit_value({"stock": 9}) == 3
+        assert record.exists
+
+    def test_commit_delta(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": 5})
+        record.commit_delta("stock", -2)
+        assert record.snapshot().value["stock"] == 3
+
+    def test_commit_delta_on_missing_attr_starts_from_zero(self):
+        record = Record("items", "k1")
+        record.commit_value({"name": "a"})
+        record.commit_delta("count", 4)
+        assert record.snapshot().value["count"] == 4
+
+    def test_commit_delta_on_absent_record_raises(self):
+        with pytest.raises(ValueError):
+            Record("items", "k1").commit_delta("stock", 1)
+
+    def test_commit_delta_non_numeric_raises(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": "lots"})
+        with pytest.raises(ValueError):
+            record.commit_delta("stock", 1)
+
+    def test_value_at_version(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": 5})
+        record.commit_value({"stock": 4})
+        assert record.value_at(1).value == {"stock": 5}
+        assert record.value_at(99) is None
+
+    def test_snapshot_attribute_helper(self):
+        record = Record("items", "k1")
+        record.commit_value({"stock": 7})
+        assert record.snapshot().attribute("stock") == 7
+        assert record.snapshot().attribute("ghost", -1) == -1
+        assert Record("items", "k2").snapshot().attribute("x", "d") == "d"
+
+
+class TestRecordStore:
+    def make_store(self):
+        store = RecordStore()
+        store.register_table(TableSchema("items", constraints={"stock": Constraint(minimum=0)}))
+        return store
+
+    def test_register_duplicate_table_rejected(self):
+        store = self.make_store()
+        with pytest.raises(StorageError):
+            store.register_table(TableSchema("items"))
+
+    def test_unknown_table_raises(self):
+        store = self.make_store()
+        with pytest.raises(StorageError):
+            store.read("ghost", "k")
+        with pytest.raises(StorageError):
+            store.record("ghost", "k")
+
+    def test_read_absent_key_clean(self):
+        store = self.make_store()
+        snap = store.read("items", "nope")
+        assert (snap.exists, snap.version) == (False, 0)
+
+    def test_record_created_lazily_peek_does_not_create(self):
+        store = self.make_store()
+        assert store.peek("items", "k") is None
+        store.record("items", "k")
+        assert store.peek("items", "k") is not None
+
+    def test_write_read_roundtrip(self):
+        store = self.make_store()
+        store.record("items", "k").commit_value({"stock": 3})
+        snap = store.read("items", "k")
+        assert snap.exists and snap.value == {"stock": 3} and snap.version == 1
+
+    def test_scan_sorted_live_only(self):
+        store = self.make_store()
+        store.record("items", "b").commit_value({"stock": 1})
+        store.record("items", "a").commit_value({"stock": 2})
+        store.record("items", "c").commit_value({"stock": 3})
+        store.record("items", "c").commit_delete()
+        keys = [key for key, _ in store.scan("items")]
+        assert keys == ["a", "b"]
+        assert store.count("items") == 2
+
+    def test_schema_lookup(self):
+        store = self.make_store()
+        assert store.schema("items").constraint("stock").minimum == 0
+        assert store.tables == ("items",)
+
+
+class TestPartitioners:
+    def test_stable_hash_deterministic(self):
+        assert stable_hash("item:1") == stable_hash("item:1")
+        assert stable_hash("item:1") != stable_hash("item:2")
+
+    def test_hash_partitioner_covers_range(self):
+        p = HashPartitioner(4)
+        partitions = {p.partition_of(f"k{i}") for i in range(200)}
+        assert partitions == {0, 1, 2, 3}
+
+    def test_hash_partitioner_requires_positive(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_range_partitioner_basic(self):
+        p = RangePartitioner(["m"])
+        assert p.partition_of("a") == 0
+        assert p.partition_of("m") == 1  # boundary is exclusive lower bound
+        assert p.partition_of("z") == 1
+        assert p.num_partitions == 2
+
+    def test_range_partitioner_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(["m", "a"])
+
+    def test_range_partitioner_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(["m", "m"])
+
+    def test_even_over_keys_balances(self):
+        keys = [f"item:{i:05d}" for i in range(1000)]
+        p = RangePartitioner.even_over_keys(keys, 4)
+        counts = [0, 0, 0, 0]
+        for key in keys:
+            counts[p.partition_of(key)] += 1
+        assert p.num_partitions == 4
+        assert max(counts) - min(counts) <= 1
+
+    def test_even_over_keys_single_partition(self):
+        p = RangePartitioner.even_over_keys(["a", "b"], 1)
+        assert p.num_partitions == 1
+        assert p.partition_of("zzz") == 0
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_monotonic_lsns(self):
+        wal = WriteAheadLog()
+        first = wal.append("option-learned", txid="t1")
+        second = wal.append("visibility", txid="t1", status=True)
+        assert (first.lsn, second.lsn) == (1, 2)
+        assert wal.last_lsn == 2
+        assert len(wal) == 2
+
+    def test_entries_since(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.append("e", index=i)
+        tail = wal.entries_since(3)
+        assert [entry.payload["index"] for entry in tail] == [3, 4]
+
+    def test_entries_of_kind(self):
+        wal = WriteAheadLog()
+        wal.append("a")
+        wal.append("b")
+        wal.append("a")
+        assert len(wal.entries_of_kind("a")) == 2
+
+    def test_replay_filtered(self):
+        wal = WriteAheadLog()
+        wal.append("option", txid="t1")
+        wal.append("noise")
+        wal.append("option", txid="t2")
+        seen = []
+        count = wal.replay(lambda entry: seen.append(entry.payload["txid"]), kind="option")
+        assert count == 2
+        assert seen == ["t1", "t2"]
+
+    def test_truncate_through(self):
+        wal = WriteAheadLog()
+        for i in range(10):
+            wal.append("e", index=i)
+        removed = wal.truncate_through(7)
+        assert removed == 7
+        assert [entry.lsn for entry in wal] == [8, 9, 10]
+        # LSNs keep increasing after truncation.
+        assert wal.append("later").lsn == 11
+
+    def test_payload_copied_on_append(self):
+        wal = WriteAheadLog()
+        payload = {"keys": [1, 2]}
+        entry = wal.append("e", **payload)
+        assert entry.payload == {"keys": [1, 2]}
