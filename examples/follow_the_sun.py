@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Follow-the-sun: watch mastership chase a rotating write hotspot.
+
+Builds two Multi (master-routed) deployments over the paper's five EC2
+regions and drives both with the geoshift workload, whose dominant
+write-origin data center rotates every 15 simulated seconds:
+
+* **static hash placement** — each record's master is fixed at build
+  time, so the region in daylight pays a wide-area detour to a remote
+  master on ~4/5 of its writes, forever;
+* **adaptive placement** — the :mod:`repro.placement` subsystem tracks
+  write origins and migrates each record's mastership to the dominant
+  origin through Phase-1 ballot takeovers (§3.1.1: "the mastership can
+  change by running Phase 1").
+
+Run it:
+
+    python examples/follow_the_sun.py
+"""
+
+from repro.bench.harness import run_geoshift
+from repro.placement.policy import MigrationPolicy
+
+
+def main() -> None:
+    policy = MigrationPolicy(
+        dominance_threshold=0.55,
+        improvement_margin=0.1,
+        min_weight=1.5,
+        cooldown_ms=8_000.0,
+    )
+    results = {}
+    for master_policy in ("hash", "adaptive"):
+        results[master_policy] = run_geoshift(
+            "multi",
+            num_clients=20,
+            num_items=100,
+            warmup_ms=3_000.0,
+            measure_ms=42_000.0,
+            phase_ms=15_000.0,
+            seed=17,
+            master_policy=master_policy,
+            migration_policy=policy if master_policy == "adaptive" else None,
+            tracker_halflife_ms=4_000.0,
+        )
+
+    print(f"{'placement':>10} {'median':>8} {'p90':>8} {'commits':>8} "
+          f"{'migrations':>11} {'local-master':>13}")
+    for name, result in results.items():
+        local = result.counters.get("coordinator.local_master_proposals", 0)
+        remote = result.counters.get("coordinator.remote_master_proposals", 0)
+        frac = 100.0 * local / max(local + remote, 1)
+        print(
+            f"{name:>10} {result.median_ms:>8.1f} {result.p90_ms:>8.1f} "
+            f"{result.commits:>8} {result.extra['migrations']:>11} {frac:>12.0f}%"
+        )
+
+    adaptive = results["adaptive"]
+    hashed = results["hash"]
+    speedup = hashed.median_ms / adaptive.median_ms
+    print()
+    print(f"adaptive placement cut the median commit latency by "
+          f"{speedup:.1f}x while the hotspot rotated through "
+          f"{int(42_000 // 15_000) + 1} regions.")
+    assert not adaptive.audit_problems and not hashed.audit_problems
+    print("both runs audit clean: no lost updates, replicas converged.")
+
+
+if __name__ == "__main__":
+    main()

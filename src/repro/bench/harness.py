@@ -23,10 +23,11 @@ from repro.db.checkers import check_constraints, check_replica_convergence
 from repro.db.cluster import build_cluster
 from repro.sim.monitor import LatencyRecorder
 from repro.workloads.generator import WorkloadStats
+from repro.workloads.geoshift import GeoShiftBenchmark
 from repro.workloads.micro import MicroBenchmark
 from repro.workloads.tpcw import TPCWBenchmark
 
-__all__ = ["ExperimentResult", "run_micro", "run_tpcw"]
+__all__ = ["ExperimentResult", "run_geoshift", "run_micro", "run_tpcw"]
 
 
 @dataclass
@@ -72,7 +73,7 @@ def _collect(protocol, cluster, stats, workload, audit_table, audit_keys) -> Exp
         problems = workload.ledger.audit(cluster)
         divergent = len(check_replica_convergence(cluster, audit_table, audit_keys))
         violations = len(check_constraints(cluster, audit_table, audit_keys))
-    return ExperimentResult(
+    result = ExperimentResult(
         protocol=protocol,
         stats=stats,
         commits=stats.commits,
@@ -86,6 +87,13 @@ def _collect(protocol, cluster, stats, workload, audit_table, audit_keys) -> Exp
         constraint_violations=violations,
         counters=cluster.counters.as_dict(),
     )
+    if cluster.placement.is_adaptive:
+        result.extra["master_policy"] = "adaptive"
+        result.extra["migrations"] = cluster.placement.directory.migrations
+    else:
+        result.extra["master_policy"] = cluster.placement.master_policy
+        result.extra["migrations"] = 0
+    return result
 
 
 def run_tpcw(
@@ -101,6 +109,8 @@ def run_tpcw(
     client_dcs: Optional[Sequence[str]] = None,
     audit: bool = True,
     config: Optional[MDCCConfig] = None,
+    master_policy: str = "hash",
+    migration_policy=None,
 ) -> ExperimentResult:
     """One TPC-W run of ``protocol`` (Figures 3 and 4).
 
@@ -110,7 +120,12 @@ def run_tpcw(
     """
     parts = 1 if protocol == "megastore" else partitions_per_table
     cluster = build_cluster(
-        protocol, seed=seed, partitions_per_table=parts, config=config
+        protocol,
+        seed=seed,
+        partitions_per_table=parts,
+        config=config,
+        master_policy=master_policy,
+        migration_policy=migration_policy,
     )
     if protocol == "megastore" and client_dcs is None:
         client_dcs = ["us-west"]
@@ -145,6 +160,8 @@ def run_micro(
     audit: bool = True,
     config: Optional[MDCCConfig] = None,
     fail_dc_at: Optional[tuple] = None,
+    master_policy: str = "hash",
+    migration_policy=None,
 ) -> ExperimentResult:
     """One micro-benchmark run of ``protocol`` (Figures 5-8).
 
@@ -153,7 +170,12 @@ def run_micro(
     """
     parts = 1 if protocol == "megastore" else partitions_per_table
     cluster = build_cluster(
-        protocol, seed=seed, partitions_per_table=parts, config=config
+        protocol,
+        seed=seed,
+        partitions_per_table=parts,
+        config=config,
+        master_policy=master_policy,
+        migration_policy=migration_policy,
     )
     bench = MicroBenchmark(
         num_items=num_items,
@@ -179,4 +201,66 @@ def run_micro(
     )
     if fail_dc_at is not None:
         result.extra["fail_dc_at"] = fail_dc_at
+    return result
+
+
+def run_geoshift(
+    protocol: str,
+    num_clients: int = 25,
+    num_items: int = 200,
+    warmup_ms: float = 5_000.0,
+    measure_ms: float = 60_000.0,
+    seed: int = 1,
+    min_stock: int = 500,
+    max_stock: int = 1_000,
+    partitions_per_table: int = 2,
+    phase_ms: float = 20_000.0,
+    offpeak_activity: float = 0.05,
+    audit: bool = True,
+    config: Optional[MDCCConfig] = None,
+    master_policy: str = "hash",
+    migration_policy=None,
+    tracker_halflife_ms: float = 4_000.0,
+    placement_scan_ms: float = 1_000.0,
+) -> ExperimentResult:
+    """One follow-the-sun run of ``protocol``.
+
+    Clients live in every data center but only the region "in daylight"
+    runs at full intensity; the sun advances every ``phase_ms``.  Compare
+    ``master_policy="hash"`` (the paper's static placement) against
+    ``"adaptive"`` (:mod:`repro.placement`) to see mastership chase the
+    hotspot.  The tracker half-life defaults shorter than the phase so
+    the write-origin signal turns over well before the sun does.
+    """
+    parts = 1 if protocol == "megastore" else partitions_per_table
+    cluster = build_cluster(
+        protocol,
+        seed=seed,
+        partitions_per_table=parts,
+        config=config,
+        master_policy=master_policy,
+        migration_policy=migration_policy,
+        tracker_halflife_ms=tracker_halflife_ms,
+        placement_scan_ms=placement_scan_ms,
+    )
+    bench = GeoShiftBenchmark(
+        num_items=num_items,
+        min_stock=min_stock,
+        max_stock=max_stock,
+        phase_ms=phase_ms,
+        offpeak_activity=offpeak_activity,
+    )
+    stats, pool = bench.run(
+        cluster,
+        num_clients=num_clients,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+    )
+    pool.drain(30_000)
+    keys = bench.keys if audit else []
+    result = _collect(
+        protocol, cluster, stats, bench, "items" if audit else None, keys
+    )
+    result.extra["phase_ms"] = phase_ms
+    result.extra["phases"] = int((warmup_ms + measure_ms) // phase_ms) + 1
     return result

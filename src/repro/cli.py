@@ -7,10 +7,13 @@ script::
     python -m repro run --protocol 2pc --workload tpcw --measure-s 20
     python -m repro compare --protocols mdcc,2pc,qw4 --workload micro
     python -m repro run --protocol mdcc --fail-dc us-east --fail-at-s 30
+    python -m repro run --protocol multi --workload geoshift --master-policy adaptive
+    python -m repro list
 
 ``run`` executes one experiment and prints a summary (or ``--json``);
 ``compare`` runs several protocols on the identical workload and prints
-the Figure-3-style comparison table.
+the Figure-3-style comparison table; ``list`` enumerates the available
+protocols, workloads and master policies.
 """
 
 from __future__ import annotations
@@ -20,7 +23,12 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.bench.harness import ExperimentResult, run_micro, run_tpcw
+from repro.bench.harness import (
+    ExperimentResult,
+    run_geoshift,
+    run_micro,
+    run_tpcw,
+)
 from repro.core.config import MDCCConfig, ProtocolVariant
 from repro.db.cluster import PROTOCOLS
 
@@ -31,6 +39,55 @@ _VARIANTS = {
     "fast": ProtocolVariant.FAST,
     "multi": ProtocolVariant.MULTI,
 }
+
+WORKLOADS = ("micro", "tpcw", "geoshift")
+
+_PROTOCOL_NOTES = {
+    "mdcc": "full MDCC: fast ballots + commutative updates + demarcation",
+    "fast": "fast ballots without commutative update support",
+    "multi": "master-routed classic ballots (Multi-Paxos per record)",
+    "2pc": "two-phase commit over the same replicas",
+    "qw3": "quorum writes, write quorum 3 (eventually consistent)",
+    "qw4": "quorum writes, write quorum 4 (eventually consistent)",
+    "megastore": "Megastore*: one Paxos log per entity group",
+}
+
+_WORKLOAD_NOTES = {
+    "micro": "§5.3 buy transaction; --hotspot / --locality knobs",
+    "tpcw": "TPC-W ordering mix (database part of the web interactions)",
+    "geoshift": "follow-the-sun: the dominant write-origin DC rotates",
+}
+
+_MASTER_POLICY_NOTES = {
+    "hash": "static, uniform by key hash (the paper's Multi setup)",
+    "fixed:<dc>": "static, all masters in one data center",
+    "table": "static, the table schema's default master DC (Python API only)",
+    "adaptive": "dynamic: mastership migrates to the dominant write origin",
+}
+
+
+def _master_policy(value: str) -> str:
+    if value.startswith("fixed:"):
+        from repro.sim.network import EC2_REGIONS
+
+        dc = value.split(":", 1)[1]
+        if dc not in EC2_REGIONS:
+            raise argparse.ArgumentTypeError(
+                f"unknown data center {dc!r}; choose from {', '.join(EC2_REGIONS)}"
+            )
+        return value
+    if value in ("hash", "adaptive"):
+        return value
+    if value == "table":
+        # Per-table defaults have no CLI syntax; the workloads here would
+        # crash on the first proposal without them.
+        raise argparse.ArgumentTypeError(
+            "the 'table' policy needs per-table master defaults and is only "
+            "available through the Python API (build_cluster(table_master_dc=...))"
+        )
+    raise argparse.ArgumentTypeError(
+        f"unknown master policy {value!r}; choose hash, adaptive or fixed:<dc>"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,12 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated protocol list (default: mdcc,2pc,qw4)",
     )
     compare.add_argument("--json", action="store_true")
+
+    lister = sub.add_parser(
+        "list", help="enumerate protocols, workloads and master policies"
+    )
+    lister.add_argument("--json", action="store_true")
     return parser
 
 
 def _experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workload", choices=("micro", "tpcw"), default="micro"
+        "--workload", choices=WORKLOADS, default="micro"
     )
     parser.add_argument("--clients", type=int, default=25)
     parser.add_argument("--items", type=int, default=1_000)
@@ -84,6 +146,19 @@ def _experiment_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--gamma-policy", choices=("static", "adaptive"), default="static"
+    )
+    parser.add_argument(
+        "--master-policy",
+        type=_master_policy,
+        default="hash",
+        help="master placement: hash, adaptive or fixed:<dc> "
+        "(adaptive requires an MDCC variant)",
+    )
+    parser.add_argument(
+        "--phase-s",
+        type=float,
+        default=20.0,
+        help="geoshift only: seconds the sun stays over one region",
     )
     parser.add_argument(
         "--batch-ms",
@@ -132,11 +207,21 @@ def _run_one(protocol: str, args: argparse.Namespace) -> ExperimentResult:
         seed=args.seed,
         audit=not args.no_audit,
         config=_config_for(protocol, args),
+        master_policy=args.master_policy,
     )
+    if args.master_policy == "adaptive" and protocol not in _VARIANTS:
+        raise SystemExit(
+            "adaptive master placement requires an MDCC variant "
+            f"({', '.join(_VARIANTS)}); got {protocol!r}"
+        )
     if args.workload == "tpcw":
         if args.hotspot is not None or args.locality is not None:
             raise SystemExit("--hotspot/--locality apply to the micro workload")
         return run_tpcw(protocol, **kwargs)
+    if args.workload == "geoshift":
+        if args.hotspot is not None or args.locality is not None:
+            raise SystemExit("--hotspot/--locality apply to the micro workload")
+        return run_geoshift(protocol, phase_ms=args.phase_s * 1_000.0, **kwargs)
     fail_dc_at = None
     if args.fail_dc is not None:
         at_s = args.fail_at_s if args.fail_at_s is not None else args.measure_s / 2
@@ -162,7 +247,27 @@ def _as_dict(result: ExperimentResult) -> dict:
         "audit_problems": len(result.audit_problems),
         "constraint_violations": result.constraint_violations,
         "divergent_records": result.divergent_records,
+        "master_policy": result.extra.get("master_policy", "hash"),
+        "migrations": result.extra.get("migrations", 0),
     }
+
+
+def _run_list(as_json: bool) -> int:
+    catalogue = {
+        "protocols": _PROTOCOL_NOTES,
+        "workloads": _WORKLOAD_NOTES,
+        "master_policies": _MASTER_POLICY_NOTES,
+    }
+    if as_json:
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    for section, entries in catalogue.items():
+        print(section)
+        width = max(len(name) for name in entries)
+        for name, note in entries.items():
+            print(f"  {name:<{width}}  {note}")
+        print()
+    return 0
 
 
 def _print_table(results: List[ExperimentResult]) -> None:
@@ -185,6 +290,8 @@ def _print_table(results: List[ExperimentResult]) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _run_list(args.json)
     if args.command == "run":
         result = _run_one(args.protocol, args)
         if args.json:

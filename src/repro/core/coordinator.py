@@ -249,6 +249,9 @@ class MDCCCoordinator(Node):
         records = writeset.records()
         options = {}
         for record, update in writeset.updates.items():
+            if not isinstance(update, ReadValidation):
+                # Adaptive placement signal: this DC wrote this record.
+                self.placement.note_write(record, self.dc, self.sim.now)
             option = Option(
                 txid=txid,
                 record=record,
@@ -281,6 +284,11 @@ class MDCCCoordinator(Node):
             self.send(master, ProposeClassic(option=option, reply_to=self.node_id))
             tx.learned_via_master = True
             self.counters.increment("coordinator.classic_proposals")
+            # Figure-7 locality observability: was the master local to us?
+            if self.placement.master_dc(option.record) == self.dc:
+                self.counters.increment("coordinator.local_master_proposals")
+            else:
+                self.counters.increment("coordinator.remote_master_proposals")
 
     # ------------------------------------------------------------------
     # Learning (Algorithm 1, Learn)

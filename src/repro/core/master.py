@@ -28,6 +28,7 @@ from repro.core.messages import (
     MPhase1b,
     MPhase2a,
     MPhase2b,
+    MastershipTaken,
     OptionOutcome,
     ProposeClassic,
     StartRecovery,
@@ -72,6 +73,8 @@ class _MasterRecordState:
     pending_post_grant: Optional[BallotRange] = None
     pending_new_base: Optional[Dict[str, float]] = None
     retries: int = 0
+    #: placement manager to notify once a migration takeover decides.
+    migration_notify: Optional[str] = None
 
 
 class MasterRole:
@@ -111,6 +114,11 @@ class MasterRole:
 
     def on_start_recovery(self, message: StartRecovery, src_id: str) -> None:
         ms = self._state(message.record)
+        if message.reason == "migration":
+            # Remember whom to tell once a full classic round has decided
+            # under our ballot; if a round is already running its
+            # completion doubles as the takeover.
+            ms.migration_notify = message.reply_to or src_id
         if message.option is not None:
             option_id = message.option.option_id
             reply_to = message.reply_to or src_id
@@ -160,6 +168,8 @@ class MasterRole:
         if ms.phase != "phase1" or message.ballot != ms.ballot:
             return
         if not message.granted:
+            if self._abdicate_if_deposed(message.record, message.promised):
+                return
             # Nacked: leapfrog past the competing ballot.
             ms.round_counter = max(ms.round_counter, message.promised.round)
             self._start_phase1(message.record)
@@ -313,6 +323,28 @@ class MasterRole:
         reason = ms.recovery_reason or "collision"
         version = newest.committed_version
         assert ms.ballot is not None
+        if reason == "migration" and self.config.fast_ballots_enabled:
+            # A mastership move, not a conflict — no γ policy involved:
+            # re-open the fast era immediately; under fast ballots the new
+            # master matters only for future arbitration/forwarding.
+            fast_ballot = Ballot(
+                round=ms.ballot.round + 1, fast=True, proposer=self.node.node_id
+            )
+            ms.pending_post_grant = BallotRange(version, None, fast_ballot)
+            ms.pending_new_base = self._constrained_values(record, newest)
+            self.node.counters.increment("master.recovery.migration")
+            return
+        if not self.config.fast_ballots_enabled:
+            # Stable-master variant: fast instances never resume, so a γ
+            # horizon is meaningless — hold an open-ended classic lease.
+            # The fence stands until a higher-ballot Phase 1 (the next
+            # migration or a failover) supersedes it, so two masters can
+            # never both assemble a classic quorum.  Also skips the γ
+            # policy: these recoveries are not a conflict-rate signal.
+            ms.pending_post_grant = BallotRange(version, None, ms.ballot)
+            ms.pending_new_base = self._constrained_values(record, newest)
+            self.node.counters.increment(f"master.recovery.{reason}")
+            return
         horizon = self.policy.classic_horizon(record, reason, self.node.sim.now)
         if reason == "commutative-limit" and horizon == 0:
             # One classic round refreshes the base, then fast re-opens.
@@ -360,11 +392,18 @@ class MasterRole:
         if not ms.queue:
             return
         if not ms.established:
-            if not self.config.fast_ballots_enabled:
+            if (
+                not self.config.fast_ballots_enabled
+                and not self.node.placement.is_adaptive
+            ):
                 # Multi variant: "a stable master can skip Phase 1"
                 # (§5.3.1).  Mastership is structurally unique (placement
                 # decides it), so a first classic ballot needs no election;
                 # failover still goes through Phase 1 via StartRecovery.
+                # Under adaptive placement mastership is NOT structurally
+                # unique (it migrates), so every master must win a real
+                # Phase 1 — otherwise two phase-1-less masters could both
+                # assemble classic quorums for conflicting cstructs.
                 self.establish_stable_mastership(record)
             else:
                 ms.recovery_reason = ms.recovery_reason or "route"
@@ -413,6 +452,10 @@ class MasterRole:
         if ms.phase != "phase2" or message.ballot != ms.ballot:
             return
         if not message.accepted:
+            if message.promised is not None and self._abdicate_if_deposed(
+                message.record, message.promised
+            ):
+                return
             # Pre-empted by a higher ballot: restart from Phase 1.
             ms.established = False
             self._start_phase1(message.record)
@@ -487,6 +530,17 @@ class MasterRole:
             self._notify(record, option, status)
         self._prune_live(record, ms)
         self.node.counters.increment("master.phase2_decided")
+        if ms.migration_notify is not None:
+            # The takeover round is decided at a classic quorum: this node
+            # now holds the record's ballot and the directory may flip.
+            self.node.send(
+                ms.migration_notify,
+                MastershipTaken(
+                    record=record, master_dc=self.node.dc, node_id=self.node.node_id
+                ),
+            )
+            ms.migration_notify = None
+            self.node.counters.increment("master.migrations_completed")
         self._pump(record)
 
     def _prune_live(self, record: RecordId, ms: _MasterRecordState) -> None:
@@ -559,6 +613,64 @@ class MasterRole:
     def _stagger(self, salt: int) -> float:
         fingerprint = stable_hash(f"{self.node.node_id}:{salt}") % 500
         return float(fingerprint)
+
+    def _abdicate_if_deposed(self, record: RecordId, promised: Ballot) -> bool:
+        """Stand down if a mastership migration moved this record away.
+
+        Without this check a deposed master would leapfrog the new
+        master's ballot on every nack, and the two would duel for as long
+        as stale in-flight proposals keep arriving.  Abdication applies
+        only when placement is adaptive AND the competing ballot belongs
+        to the node routing now points at — a nack from any *other*
+        contender (e.g. a failover race while the routed master is dark)
+        still leapfrogs, preserving liveness.
+
+        The queue is handed to the new master as ordinary ProposeClassic
+        messages; its Phase-1 takeover already carried over any accepted
+        options via the replicas' cstructs.
+        """
+        if not self.node.placement.is_adaptive:
+            return False
+        new_master = self.node.placement.master_node(record)
+        if new_master == self.node.node_id or promised.proposer != new_master:
+            return False
+        ms = self._state(record)
+        ms.phase = "idle"
+        ms.established = False
+        ms.recovery_reason = None
+        ms.phase1_replies = {}
+        ms.phase2_replies = {}
+        cstruct = ms.phase2_cstruct
+        ms.phase2_cstruct = None
+        ms.pending_post_grant = None
+        ms.pending_new_base = None
+        forwarded: Dict[str, Option] = {}
+        if cstruct is not None:
+            for option in cstruct:
+                if option.option_id not in ms.outcome_cache:
+                    forwarded[option.option_id] = option.with_status(
+                        OptionStatus.PENDING
+                    )
+        for option in ms.queue:
+            forwarded.setdefault(option.option_id, option)
+        ms.queue = []
+        ms.queued_ids = set()
+        for option_id, option in forwarded.items():
+            # One forward per waiting coordinator keeps every learner's
+            # OptionOutcome path alive; the new master dedups by option id.
+            # Waiterless options (adopted history) are NOT forwarded: the
+            # replicas' cstructs already carry them into the new master's
+            # Phase 1.
+            for waiter in ms.waiters.pop(option_id, set()):
+                self.node.send(
+                    new_master, ProposeClassic(option=option, reply_to=waiter)
+                )
+        if ms.migration_notify is not None:
+            # A takeover we were asked to run lost to the routed master;
+            # nothing to report — the directory already points there.
+            ms.migration_notify = None
+        self.node.counters.increment("master.abdications")
+        return True
 
     def establish_stable_mastership(self, record: RecordId) -> None:
         """Pre-grant a standing classic ballot (the Multi variant's

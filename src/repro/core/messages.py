@@ -22,6 +22,7 @@ __all__ = [
     "MPhase1b",
     "MPhase2a",
     "MPhase2b",
+    "MastershipTaken",
     "OptionOutcome",
     "ProposeClassic",
     "ProposeFast",
@@ -125,13 +126,20 @@ class MPhase2a:
 
 @dataclass(frozen=True)
 class MPhase2b:
-    """Acceptor → master: the adopted cstruct with locally decided statuses."""
+    """Acceptor → master: the adopted cstruct with locally decided statuses.
+
+    A rejection (``accepted=False``) carries ``promised`` — the granted
+    ballot that fenced the proposal — so a deposed master can tell a
+    mastership migration (abdicate) from an ordinary competing recovery
+    (leapfrog).
+    """
 
     record: RecordId
     ballot: Ballot
     accepted: bool
     cstruct: Optional[CStruct]
     committed_version: int
+    promised: Optional[Ballot] = None
 
 
 @dataclass(frozen=True)
@@ -148,16 +156,35 @@ class OptionOutcome:
 class StartRecovery:
     """Learner → master: fast ballot collided (or timed out); arbitrate.
 
-    ``reason`` is "collision", "commutative-limit" or "timeout" — it picks
-    the γ policy (physical collisions switch the record to classic for γ
-    instances; commutative limit hits refresh the base and may re-open fast
-    immediately, §3.4.2).
+    ``reason`` is "collision", "commutative-limit", "timeout" or
+    "migration" — it picks the γ policy (physical collisions switch the
+    record to classic for γ instances; commutative limit hits refresh the
+    base and may re-open fast immediately, §3.4.2; mastership migrations
+    take the ballot over and then restore the variant's steady-state mode,
+    replying with :class:`MastershipTaken`).
     """
 
     record: RecordId
     reason: str
     option: Optional[Option] = None  # re-propose on behalf of this learner
     reply_to: str = ""
+
+
+@dataclass(frozen=True)
+class MastershipTaken:
+    """New master → placement manager: the Phase-1 takeover completed.
+
+    Sent once the migration's classic round has decided, i.e. a classic
+    quorum has granted the new master's ballot and adopted its cstruct.
+    The placement directory flips at migration *start* (routing is just a
+    hint; ballots arbitrate correctness) — this acknowledgement closes
+    the manager's in-flight entry, and its absence triggers the takeover
+    re-drive after ``takeover_timeout_ms``.
+    """
+
+    record: RecordId
+    master_dc: str
+    node_id: str
 
 
 # ----------------------------------------------------------------------

@@ -169,6 +169,7 @@ class MDCCStorageNode(Node):
                     accepted=False,
                     cstruct=None,
                     committed_version=state.version,
+                    promised=effective,
                 ),
             )
             return

@@ -14,6 +14,13 @@ Master policies (§2: "MDCC supports an individual master per record"):
 * ``fixed:<dc>`` — all masters in one data center (the Megastore*-style
   setup, and the paper's insert default of one master per table).
 * ``table`` — the table schema's ``default_master_dc``.
+* ``adaptive`` — mastership starts out hash-placed but *moves*: write
+  origins are tracked per record and the
+  :mod:`repro.placement` subsystem migrates masters toward the dominant
+  origin data center via Phase-1 ballot takeovers (§3.1.1: "the
+  mastership can change by running Phase 1").  ``master_dc`` then
+  consults the mutable, versioned
+  :class:`~repro.placement.directory.PlacementDirectory`.
 """
 
 from __future__ import annotations
@@ -24,7 +31,10 @@ from repro.core.options import RecordId
 from repro.paxos.quorum import QuorumSpec
 from repro.storage.partition import stable_hash
 
-__all__ = ["ReplicaMap"]
+__all__ = ["ReplicaMap", "MASTER_POLICIES"]
+
+#: The named master policies (``fixed:<dc>`` is the parameterized one).
+MASTER_POLICIES = ("hash", "table", "adaptive")
 
 
 class ReplicaMap:
@@ -36,6 +46,7 @@ class ReplicaMap:
         partitions_per_table: int = 1,
         master_policy: str = "hash",
         table_master_dc: Optional[Dict[str, str]] = None,
+        tracker_halflife_ms: float = 10_000.0,
     ) -> None:
         if not datacenters:
             raise ValueError("need at least one data center")
@@ -49,8 +60,18 @@ class ReplicaMap:
             fixed_dc = master_policy.split(":", 1)[1]
             if fixed_dc not in self.datacenters:
                 raise ValueError(f"unknown fixed master DC {fixed_dc!r}")
-        elif master_policy not in ("hash", "table"):
+        elif master_policy not in MASTER_POLICIES:
             raise ValueError(f"unknown master policy {master_policy!r}")
+        #: adaptive-policy state (None under the static policies).  Imported
+        #: lazily: repro.placement depends on repro.core, not vice versa.
+        self.tracker = None
+        self.directory = None
+        if master_policy == "adaptive":
+            from repro.placement.directory import PlacementDirectory
+            from repro.placement.tracker import AccessTracker
+
+            self.tracker = AccessTracker(halflife_ms=tracker_halflife_ms)
+            self.directory = PlacementDirectory(fallback=self._hash_master_dc)
 
     # ------------------------------------------------------------------
     # Node naming and placement
@@ -96,10 +117,24 @@ class ReplicaMap:
             if dc is None:
                 raise ValueError(f"no default master DC for table {record.table!r}")
             return dc
+        if self.master_policy == "adaptive":
+            return self.directory.master_dc(record)
+        return self._hash_master_dc(record)
+
+    def _hash_master_dc(self, record: RecordId) -> str:
         index = stable_hash(f"master:{record.table}:{record.key}") % len(
             self.datacenters
         )
         return self.datacenters[index]
+
+    @property
+    def is_adaptive(self) -> bool:
+        return self.master_policy == "adaptive"
+
+    def note_write(self, record: RecordId, origin_dc: str, now: float) -> None:
+        """Feed the access tracker; a no-op under static policies."""
+        if self.tracker is not None:
+            self.tracker.note(record, origin_dc, now)
 
     def master_node(self, record: RecordId) -> str:
         return self.replica_in(record, self.master_dc(record))

@@ -68,6 +68,8 @@ class Cluster:
         self.clients: List[object] = []
         self._client_seq = itertools.count(1)
         self._schemas: List[TableSchema] = []
+        #: the adaptive-placement control plane (None under static policies).
+        self.placement_manager = None
 
     # ------------------------------------------------------------------
     # Tables and data
@@ -228,14 +230,31 @@ def build_cluster(
     jitter_sigma: float = 0.06,
     config: Optional[MDCCConfig] = None,
     rtt_matrix=None,
+    migration_policy=None,
+    placement_scan_ms: float = 1_000.0,
+    tracker_halflife_ms: float = 10_000.0,
 ) -> Cluster:
-    """Assemble a full deployment of ``protocol`` over ``datacenters``."""
+    """Assemble a full deployment of ``protocol`` over ``datacenters``.
+
+    ``master_policy="adaptive"`` additionally deploys a
+    :class:`~repro.placement.manager.PlacementManager` that migrates
+    per-record mastership toward the dominant write-origin data center
+    (``migration_policy`` tunes its thresholds, ``placement_scan_ms`` its
+    cadence, ``tracker_halflife_ms`` the write-origin decay).  Mastership
+    migration runs over the MDCC master machinery, so it is limited to the
+    MDCC variants.
+    """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
     if protocol == "megastore" and partitions_per_table != 1:
         # The paper's Megastore* places all data in a single entity group
         # ("we placed all data into a single entity group", §5.2): one log.
         raise ValueError("megastore uses a single entity group: 1 partition")
+    if master_policy == "adaptive" and protocol not in _VARIANTS:
+        raise ValueError(
+            "adaptive master placement requires an MDCC variant "
+            f"({', '.join(_VARIANTS)}); got {protocol!r}"
+        )
     rng = RngRegistry(seed=seed)
     sim = Simulator()
     latency = LatencyModel(
@@ -247,6 +266,7 @@ def build_cluster(
         partitions_per_table=partitions_per_table,
         master_policy=master_policy,
         table_master_dc=table_master_dc,
+        tracker_halflife_ms=tracker_halflife_ms,
     )
     if config is None:
         config = MDCCConfig(
@@ -269,6 +289,21 @@ def build_cluster(
         rng=rng,
     )
     cluster.storage_nodes = _build_storage_nodes(cluster)
+    if placement.is_adaptive:
+        from repro.placement.manager import PlacementManager
+
+        cluster.placement_manager = PlacementManager(
+            sim,
+            network,
+            f"placement-{placement.datacenters[0]}",
+            placement.datacenters[0],
+            placement=placement,
+            config=config,
+            counters=counters,
+            policy=migration_policy,
+            scan_ms=placement_scan_ms,
+        )
+        cluster.placement_manager.start()
     return cluster
 
 

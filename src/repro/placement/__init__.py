@@ -1,0 +1,44 @@
+"""Adaptive master placement: load-aware per-record mastership migration.
+
+The paper's Figure 7 (§5.3.3) shows that master-routed commits (the Multi
+configuration) live or die by *master locality*: "even when 80% of the
+updates are local, the median Multi response time (242ms) is slower than
+the median MDCC response time (231ms)".  The reproduction's
+:class:`~repro.core.topology.ReplicaMap` historically fixed mastership at
+cluster build time (``hash`` / ``fixed:<dc>`` / ``table``); this package
+makes it *dynamic*, exploiting §2's "MDCC supports an individual master
+per record" and §3.1.1's note that "the mastership can change by running
+Phase 1" — the very machinery our
+:class:`~repro.core.master.MasterRole` already implements and tests.
+
+Components:
+
+* :class:`~repro.placement.tracker.AccessTracker` — exponentially decayed
+  per-record counters of write-origin data centers, fed by coordinators
+  at commit time (no extra messages: the coordinator already knows its
+  own data center and write-set).
+* :class:`~repro.placement.policy.MigrationPolicy` — the dominance
+  threshold + hysteresis rule deciding when a record's mastership should
+  move to the data center issuing most of its writes.
+* :class:`~repro.placement.directory.PlacementDirectory` — a versioned,
+  mutable record→master-DC map that replaces the static ``master_dc``
+  lookup when the cluster runs with ``master_policy="adaptive"``.
+* :class:`~repro.placement.manager.PlacementManager` — the control-plane
+  node that periodically scans the tracker, asks the policy, and executes
+  migrations through a Phase-1 ballot takeover on the target storage
+  node.  The directory only flips *after* the takeover's classic round
+  completes, so routing never points at a master that does not hold the
+  ballot.
+"""
+
+from repro.placement.directory import PlacementDirectory
+from repro.placement.manager import PlacementManager
+from repro.placement.policy import MigrationPolicy
+from repro.placement.tracker import AccessTracker
+
+__all__ = [
+    "AccessTracker",
+    "MigrationPolicy",
+    "PlacementDirectory",
+    "PlacementManager",
+]

@@ -1,0 +1,66 @@
+"""The versioned record→master-DC map behind ``master_policy="adaptive"``.
+
+:class:`~repro.core.topology.ReplicaMap` consults the directory instead
+of its static hash when the adaptive policy is active.  Records without
+an explicit assignment fall back to a caller-supplied default (the hash
+placement), so an adaptive cluster starts out byte-identical to a
+``hash`` cluster and diverges only as migrations land.
+
+The directory is a *routing hint*, not the source of truth: correctness
+of mastership rests on Paxos ballots (an old master's classic rounds are
+fenced by the new master's Phase-1 grants), which is why
+:class:`~repro.placement.manager.PlacementManager` only calls
+:meth:`assign` after the takeover's classic round has completed.  Every
+assignment bumps ``version`` — the simulation shares one directory
+object, and the version stands in for the epoch number a distributed
+deployment would gossip alongside routing updates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.options import RecordId
+
+__all__ = ["PlacementDirectory"]
+
+
+class PlacementDirectory:
+    """Mutable, versioned master placement with a static fallback."""
+
+    def __init__(self, fallback: Callable[[RecordId], str]) -> None:
+        self._fallback = fallback
+        self._masters: Dict[RecordId, str] = {}
+        self._migrated_at: Dict[RecordId, float] = {}
+        #: bumped on every assignment; lets callers detect staleness.
+        self.version = 0
+        #: total assignments that changed a record's master.
+        self.migrations = 0
+        #: (time, record, from_dc, to_dc) — the audit trail.
+        self.history: List[Tuple[float, RecordId, str, str]] = []
+
+    def master_dc(self, record: RecordId) -> str:
+        assigned = self._masters.get(record)
+        return assigned if assigned is not None else self._fallback(record)
+
+    def assign(self, record: RecordId, dc: str, now: float) -> bool:
+        """Point ``record``'s mastership at ``dc``; True if it moved."""
+        previous = self.master_dc(record)
+        self._masters[record] = dc
+        self._migrated_at[record] = now
+        self.version += 1
+        if dc == previous:
+            return False
+        self.migrations += 1
+        self.history.append((now, record, previous, dc))
+        return True
+
+    def last_migration_at(self, record: RecordId) -> Optional[float]:
+        return self._migrated_at.get(record)
+
+    def assignments(self) -> Dict[RecordId, str]:
+        """A snapshot of the explicit (non-fallback) assignments."""
+        return dict(self._masters)
+
+    def __len__(self) -> int:
+        return len(self._masters)

@@ -1,0 +1,160 @@
+"""The placement control plane: scan, decide, migrate.
+
+A :class:`PlacementManager` is a simulated node (like
+:class:`~repro.core.recovery.RecoveryAgent`) that periodically
+
+1. walks the :class:`~repro.placement.tracker.AccessTracker`'s live
+   records,
+2. asks the :class:`~repro.placement.policy.MigrationPolicy` whether any
+   record's dominant write origin justifies moving its master, and
+3. executes each migration by flipping the
+   :class:`~repro.placement.directory.PlacementDirectory` and sending
+   ``StartRecovery(reason="migration")`` to the record's replica in the
+   target data center — whose embedded
+   :class:`~repro.core.master.MasterRole` runs the ordinary Phase-1
+   ballot takeover (§3.1.1: "the mastership can change by running
+   Phase 1").
+
+The directory flips at migration *start*, so new proposals route to the
+incoming master immediately and queue behind its takeover round; stale
+in-flight proposals still reach the outgoing master, which either decides
+them under its not-yet-superseded ballot or — once the takeover's Phase 1
+fences it — abdicates and forwards them (``MasterRole``'s deposed-master
+check).  Correctness never rests on the directory: it is routing; the
+ballots arbitrate.  ``MastershipTaken`` acknowledgements close the book
+on an in-flight takeover (and a timeout reopens it, in case the target
+data center went dark mid-migration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import MDCCConfig
+from repro.core.messages import MastershipTaken, StartRecovery
+from repro.core.options import RecordId
+from repro.placement.policy import MigrationPolicy
+from repro.sim.core import Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+__all__ = ["PlacementManager"]
+
+
+class PlacementManager(Node):
+    """Periodic load-aware mastership migration over one cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        placement,
+        config: MDCCConfig,
+        counters: Optional[CounterSet] = None,
+        policy: Optional[MigrationPolicy] = None,
+        scan_ms: float = 1_000.0,
+        takeover_timeout_ms: float = 15_000.0,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        if placement.tracker is None or placement.directory is None:
+            raise ValueError(
+                "PlacementManager requires a ReplicaMap built with "
+                'master_policy="adaptive"'
+            )
+        if scan_ms <= 0:
+            raise ValueError("scan_ms must be positive")
+        self.placement = placement
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.policy = policy or MigrationPolicy()
+        self.scan_ms = scan_ms
+        self.takeover_timeout_ms = takeover_timeout_ms
+        self.tracker = placement.tracker
+        self.directory = placement.directory
+        #: record -> (target DC, start time) of an unacknowledged takeover.
+        self._inflight: Dict[RecordId, tuple] = {}
+        self._timer = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic scans (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.set_timer(self.scan_ms, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # The scan loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        self.counters.increment("placement.scans")
+        for record, (target, started) in list(self._inflight.items()):
+            # A takeover that never acknowledged (e.g. the target DC went
+            # dark, or the exchange was lost) is re-driven: the directory
+            # already routes to the target, so the policy would see
+            # nothing to do — the manager itself must finish the job.
+            if now - started > self.takeover_timeout_ms:
+                self.counters.increment("placement.takeover_timeouts")
+                self._migrate(record, target)
+        for record in self.tracker.tracked_records():
+            if record in self._inflight:
+                continue
+            shares, total = self.tracker.shares(record, now)
+            current = self.placement.master_dc(record)
+            target = self.policy.decide(
+                current_dc=current,
+                shares=shares,
+                total_weight=total,
+                last_migration_at=self.directory.last_migration_at(record),
+                now=now,
+            )
+            if target is None:
+                continue
+            self._migrate(record, target)
+        self.tracker.prune(now)
+        self._timer = self.set_timer(self.scan_ms, self._tick)
+
+    def _migrate(self, record: RecordId, target_dc: str) -> None:
+        self._inflight[record] = (target_dc, self.sim.now)
+        self.directory.assign(record, target_dc, self.sim.now)
+        new_master = self.placement.replica_in(record, target_dc)
+        self.send(
+            new_master,
+            StartRecovery(record=record, reason="migration", reply_to=self.node_id),
+        )
+        self.counters.increment("placement.migrations_started")
+
+    # ------------------------------------------------------------------
+    # Takeover acknowledgements
+    # ------------------------------------------------------------------
+    def handle_mastership_taken(self, message: MastershipTaken, src_id: str) -> None:
+        pending = self._inflight.get(message.record)
+        if pending is not None and pending[0] == message.master_dc:
+            del self._inflight[message.record]
+            self.counters.increment("placement.migrations")
+        else:
+            # Duplicate/late acknowledgement from an older takeover; it
+            # must not erase tracking of a newer in-flight takeover.
+            self.counters.increment("placement.migrations_stale_ack")
+
+    @property
+    def migrations(self) -> int:
+        """Directory flips that moved a record's master (counted at
+        migration start; the ``placement.migrations`` counter tracks
+        acknowledged takeover completions)."""
+        return self.directory.migrations

@@ -1,0 +1,81 @@
+"""When should a record's mastership move?
+
+The policy is deliberately conservative: mastership migration costs a
+classic Phase-1/Phase-2 round over the WAN and briefly queues the
+record's proposals, so it should fire only when the write-origin
+distribution has *clearly* shifted and stay quiet otherwise.  Three
+guards provide the hysteresis that prevents ping-ponging:
+
+* ``min_weight`` — ignore records without enough (decayed) write mass;
+  a handful of stray writes must not move a master.
+* ``dominance_threshold`` + ``improvement_margin`` — the candidate DC
+  must both own an absolute majority-ish share of recent writes *and*
+  beat the incumbent's share by a margin, so a 50/50 split between two
+  regions (where moving gains nothing) never oscillates.
+* ``cooldown_ms`` — a per-record floor between migrations, enforced via
+  the directory's migration timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["MigrationPolicy"]
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Threshold + hysteresis rule for mastership migration.
+
+    Attributes:
+        dominance_threshold: minimum share of recent writes the candidate
+            data center must hold (0.6 ⇒ 60% of decayed write weight).
+        improvement_margin: how much the candidate's share must exceed
+            the current master DC's share — the anti-ping-pong margin.
+        min_weight: minimum total decayed weight before the record is
+            considered at all (filters cold records and stray writes).
+        cooldown_ms: minimum time between two migrations of the same
+            record.
+    """
+
+    dominance_threshold: float = 0.6
+    improvement_margin: float = 0.2
+    min_weight: float = 2.0
+    cooldown_ms: float = 8_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.dominance_threshold <= 1.0:
+            raise ValueError("dominance_threshold must be in (0, 1]")
+        if self.improvement_margin < 0:
+            raise ValueError("improvement_margin must be non-negative")
+        if self.min_weight <= 0:
+            raise ValueError("min_weight must be positive")
+        if self.cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+
+    def decide(
+        self,
+        current_dc: str,
+        shares: Dict[str, float],
+        total_weight: float,
+        last_migration_at: Optional[float],
+        now: float,
+    ) -> Optional[str]:
+        """The target data center, or None to leave mastership in place."""
+        if total_weight < self.min_weight or not shares:
+            return None
+        if (
+            last_migration_at is not None
+            and now - last_migration_at < self.cooldown_ms
+        ):
+            return None
+        # Deterministic dominant pick: highest share, ties broken by name.
+        dominant = min(shares, key=lambda dc: (-shares[dc], dc))
+        if dominant == current_dc:
+            return None
+        if shares[dominant] < self.dominance_threshold:
+            return None
+        if shares[dominant] < shares.get(current_dc, 0.0) + self.improvement_margin:
+            return None
+        return dominant

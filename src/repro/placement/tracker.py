@@ -1,0 +1,107 @@
+"""Decayed per-record write-origin counters.
+
+The signal behind adaptive placement: *where* do a record's writes come
+from?  Coordinators call :meth:`AccessTracker.note` once per written
+record at commit time, tagging the write with their own data center.
+Weights decay exponentially (half-life ``halflife_ms``) so the tracker
+follows a moving hotspot instead of averaging over history — a record
+hammered from Tokyo this minute looks Tokyo-mastered even if it spent the
+last hour being written from Virginia.
+
+Decay is applied lazily (on read and on update), so an idle record costs
+nothing; records whose total weight has decayed below ``prune_below`` are
+dropped entirely on the next :meth:`prune` sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.options import RecordId
+
+__all__ = ["AccessTracker"]
+
+
+class AccessTracker:
+    """Exponentially decayed write-origin weights, per record per DC."""
+
+    def __init__(self, halflife_ms: float = 10_000.0, prune_below: float = 0.05) -> None:
+        if halflife_ms <= 0:
+            raise ValueError("halflife_ms must be positive")
+        if prune_below < 0:
+            raise ValueError("prune_below must be non-negative")
+        self.halflife_ms = halflife_ms
+        self.prune_below = prune_below
+        #: record -> dc -> decayed weight (as of the record's stamp).
+        self._weights: Dict[RecordId, Dict[str, float]] = {}
+        #: record -> sim time at which its weights were last decayed.
+        self._stamps: Dict[RecordId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def note(self, record: RecordId, dc: str, now: float) -> None:
+        """Record one write to ``record`` originating in ``dc``."""
+        weights = self._weights.get(record)
+        if weights is None:
+            self._weights[record] = {dc: 1.0}
+            self._stamps[record] = now
+            return
+        self._decay(record, now)
+        weights[dc] = weights.get(dc, 0.0) + 1.0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def shares(self, record: RecordId, now: float) -> Tuple[Dict[str, float], float]:
+        """``(normalized shares per DC, total decayed weight)``.
+
+        Shares sum to 1.0 when the record has any weight; an unknown or
+        fully decayed record returns ``({}, 0.0)``.
+        """
+        weights = self._weights.get(record)
+        if weights is None:
+            return {}, 0.0
+        self._decay(record, now)
+        total = sum(weights.values())
+        if total <= 0.0:
+            return {}, 0.0
+        return {dc: weight / total for dc, weight in weights.items()}, total
+
+    def total_weight(self, record: RecordId, now: float) -> float:
+        return self.shares(record, now)[1]
+
+    def tracked_records(self) -> List[RecordId]:
+        """All records with live weight, in first-seen order (deterministic)."""
+        return list(self._weights)
+
+    def __iter__(self) -> Iterator[RecordId]:
+        return iter(self.tracked_records())
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def prune(self, now: float) -> int:
+        """Drop records whose total weight decayed below ``prune_below``."""
+        stale = [
+            record
+            for record in self._weights
+            if self.total_weight(record, now) < self.prune_below
+        ]
+        for record in stale:
+            del self._weights[record]
+            del self._stamps[record]
+        return len(stale)
+
+    def _decay(self, record: RecordId, now: float) -> None:
+        stamp = self._stamps[record]
+        if now <= stamp:
+            return
+        factor = 0.5 ** ((now - stamp) / self.halflife_ms)
+        weights = self._weights[record]
+        for dc in weights:
+            weights[dc] *= factor
+        self._stamps[record] = now

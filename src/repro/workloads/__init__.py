@@ -5,16 +5,21 @@
   under a stock ≥ 0 constraint, with hot-spot and master-locality knobs.
 * :mod:`repro.workloads.tpcw` — the TPC-W transactional web benchmark
   (database part of the 14 web interactions, write-heavy ordering mix).
+* :mod:`repro.workloads.geoshift` — the follow-the-sun workload: the
+  dominant write-origin data center rotates over simulated time
+  (exercises :mod:`repro.placement`'s adaptive mastership).
 * :mod:`repro.workloads.generator` — closed-loop client processes and the
   statistics they produce (latency CDFs, commit/abort counts, time series).
 """
 
 from repro.workloads.generator import ClientPool, WorkloadStats
+from repro.workloads.geoshift import GeoShiftBenchmark
 from repro.workloads.micro import MicroBenchmark
 from repro.workloads.tpcw import TPCWBenchmark, TPCW_MIX
 
 __all__ = [
     "ClientPool",
+    "GeoShiftBenchmark",
     "MicroBenchmark",
     "TPCWBenchmark",
     "TPCW_MIX",

@@ -100,9 +100,16 @@ class ClientPool:
         transaction_factory: Callable,
         client_dcs: Optional[Sequence[str]] = None,
         stats: Optional[WorkloadStats] = None,
+        admission: Optional[Callable] = None,
     ) -> None:
+        """``admission(client, rng, now)`` — optional gate called before
+        each transaction: return 0/None to proceed, or a pause in ms to
+        keep the client idle (re-checked after the pause).  Pauses happen
+        *outside* the latency measurement; the geoshift workload uses this
+        to rotate the active client population across data centers."""
         self.cluster = cluster
         self.stats = stats or WorkloadStats()
+        self._admission = admission
         datacenters = list(client_dcs or cluster.placement.datacenters)
         self.clients = [
             cluster.add_client(datacenters[i % len(datacenters)])
@@ -141,6 +148,11 @@ class ClientPool:
     def _client_loop(self, client, rng, stop_at: float) -> Generator:
         sim = self.cluster.sim
         while sim.now < stop_at:
+            if self._admission is not None:
+                pause = self._admission(client, rng, sim.now)
+                if pause:
+                    yield float(pause)
+                    continue
             started = sim.now
             result = yield from self._factory(client, rng)
             committed, is_write, interaction = result

@@ -102,6 +102,71 @@ class TestCompare:
             main(["compare", "--protocols", "mdcc,spanner", *SMALL])
 
 
+class TestList:
+    def test_list_table(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("mdcc", "megastore", "geoshift", "adaptive", "fixed:<dc>"):
+            assert name in out
+
+    def test_list_json(self, capsys):
+        code, out = run_cli(capsys, "list", "--json")
+        assert code == 0
+        catalogue = json.loads(out)
+        assert set(catalogue) == {"protocols", "workloads", "master_policies"}
+        assert "multi" in catalogue["protocols"]
+        assert "geoshift" in catalogue["workloads"]
+        assert "adaptive" in catalogue["master_policies"]
+
+
+class TestMasterPolicy:
+    def test_geoshift_adaptive_run(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--protocol",
+            "multi",
+            "--workload",
+            "geoshift",
+            "--master-policy",
+            "adaptive",
+            "--phase-s",
+            "2",
+            "--json",
+            *SMALL,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["master_policy"] == "adaptive"
+        assert payload["commits"] > 0
+
+    def test_fixed_policy_passthrough(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--protocol",
+            "multi",
+            "--master-policy",
+            "fixed:us-east",
+            "--json",
+            *SMALL,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["master_policy"] == "fixed:us-east"
+        assert payload["commits"] > 0
+
+    def test_adaptive_rejected_for_non_mdcc_protocol(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "--protocol", "2pc", "--master-policy", "adaptive", *SMALL]
+            )
+
+    def test_unknown_master_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--master-policy", "round-robin", *SMALL])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -112,3 +177,4 @@ class TestParser:
         assert args.protocol == "mdcc"
         assert args.workload == "micro"
         assert args.gamma_policy == "static"
+        assert args.master_policy == "hash"

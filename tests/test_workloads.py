@@ -237,3 +237,60 @@ class TestClientPool:
         stats = WorkloadStats()
         with pytest.raises(ValueError):
             stats.throughput_tps()
+
+
+class TestGeoShift:
+    def test_sun_rotates_in_order(self):
+        from repro.workloads.geoshift import GeoShiftBenchmark
+
+        bench = GeoShiftBenchmark(
+            num_items=10, phase_ms=1_000.0, rotation=("a", "b", "c")
+        )
+        assert bench.active_dc(0.0) == "a"
+        assert bench.active_dc(999.9) == "a"
+        assert bench.active_dc(1_000.0) == "b"
+        assert bench.active_dc(2_500.0) == "c"
+        assert bench.active_dc(3_000.0) == "a"  # wraps around
+
+    def test_admission_gates_offpeak_clients(self):
+        from repro.workloads.geoshift import GeoShiftBenchmark
+
+        bench = GeoShiftBenchmark(
+            num_items=10,
+            phase_ms=1_000.0,
+            rotation=("a", "b"),
+            offpeak_activity=0.0,
+            offpeak_pause_ms=250.0,
+        )
+
+        class FakeClient:
+            dc = "a"
+
+        class NeverRandom:
+            @staticmethod
+            def random():
+                return 1.0
+
+        assert bench._admission(FakeClient, NeverRandom, now=0.0) == 0
+        assert bench._admission(FakeClient, NeverRandom, now=1_500.0) == 250.0
+
+    def test_run_commits_and_audits_clean(self):
+        from repro.workloads.geoshift import GeoShiftBenchmark
+
+        cluster = build_cluster("mdcc", seed=9)
+        bench = GeoShiftBenchmark(num_items=60, phase_ms=2_000.0)
+        stats, _pool = bench.run(
+            cluster, num_clients=10, warmup_ms=1_000, measure_ms=6_000
+        )
+        assert stats.commits > 0
+        assert bench.audit(cluster) == []
+
+    def test_validates_parameters(self):
+        from repro.workloads.geoshift import GeoShiftBenchmark
+
+        with pytest.raises(ValueError):
+            GeoShiftBenchmark(num_items=2, items_per_tx=3)
+        with pytest.raises(ValueError):
+            GeoShiftBenchmark(phase_ms=0)
+        with pytest.raises(ValueError):
+            GeoShiftBenchmark(offpeak_activity=1.5)
