@@ -1,0 +1,128 @@
+"""The chaos scenario matrix: every MDCC variant × every named schedule.
+
+§5.3.4's claim — "data center failures have almost no impact on
+availability or response times" — is evaluated in the paper with exactly
+one fault.  This suite generalizes the claim into a CI gate: each cell
+replays one declarative :class:`~repro.faults.schedule.FaultSchedule`
+(outages, N-way partitions, flaky links, coordinator and master crashes)
+against one protocol variant and asserts
+
+* **safety** — zero invariant-checker violations after heal + repair:
+  the update ledger balances, replicas converge, schema constraints hold,
+  and racing recovery agents agree on every dangling transaction;
+* **bounded unavailability** — at least the schedule's
+  ``min_availability`` fraction of measurement buckets sees a commit, and
+  commits flow again in the final bucket (post-heal).
+
+Every cell is deterministic for its seed; a verdict table is persisted to
+``benchmarks/results/`` for the CI artifact upload.
+"""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.bench.reporting import format_table, save_results
+from repro.faults import NAMED_SCHEDULES, named_schedule
+
+VARIANTS = ("mdcc", "fast", "multi")
+SEED = 7
+WARMUP_MS = 5_000.0
+MEASURE_MS = 60_000.0
+
+_CACHE = {}
+_ROWS = []
+
+
+def chaos_cell(variant: str, schedule_name: str):
+    key = (variant, schedule_name)
+    if key not in _CACHE:
+        schedule = named_schedule(
+            schedule_name, start_ms=WARMUP_MS, duration_ms=MEASURE_MS
+        )
+        _CACHE[key] = (
+            schedule,
+            run_scenario(
+                schedule,
+                variant=variant,
+                seed=SEED,
+                warmup_ms=WARMUP_MS,
+                measure_ms=MEASURE_MS,
+            ),
+        )
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("schedule_name", NAMED_SCHEDULES)
+def test_chaos(schedule_name, variant):
+    schedule, result = chaos_cell(variant, schedule_name)
+
+    _ROWS.append(
+        {
+            "variant": variant,
+            "schedule": schedule_name,
+            "commits": result.commits,
+            "aborts": result.aborts,
+            "availability": round(result.availability, 2),
+            "median_ms": None
+            if result.median_ms is None
+            else round(result.median_ms, 1),
+            "migrations": result.extra.get("migrations", 0),
+            "verdict": "clean" if result.clean else "DIRTY",
+        }
+    )
+
+    # Safety: no consistency violation survives heal + repair.
+    assert result.audit_problems == []
+    assert result.divergent_records == 0
+    assert result.constraint_violations == 0
+    assert result.probe_problems == []
+
+    # Liveness: commits flowed, unavailability stayed bounded, and the
+    # cluster was committing again once the faults lifted.
+    assert result.commits > 0
+    assert result.availability >= schedule.min_availability
+    assert result.timeline[-1]["commits"] > 0
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_chaos_recovery_agents_agree(variant):
+    """coordinator-crash cells: both racing recovery agents decided every
+    dangling transaction, and decided it identically."""
+    _schedule, result = chaos_cell(variant, "coordinator-crash")
+    by_txid = {}
+    for outcome in result.recovery_outcomes:
+        by_txid.setdefault(outcome["txid"], []).append(outcome["committed"])
+    assert len(by_txid) == 2  # two coordinator crashes in the schedule
+    for txid, verdicts in by_txid.items():
+        assert len(verdicts) == 2, f"{txid}: a recovery agent never decided"
+        assert len(set(verdicts)) == 1, f"{txid}: recovery agents disagreed"
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_chaos_placement_migrates_through_outage(variant):
+    """follow-the-sun-outage cells run adaptive placement: mastership must
+    keep migrating despite the daylight DC going dark mid-migration."""
+    _schedule, result = chaos_cell(variant, "follow-the-sun-outage")
+    assert result.extra["master_policy"] == "adaptive"
+    assert result.extra["migrations"] > 0
+
+
+def test_zz_chaos_matrix_report():
+    """Persist the verdict table (named to sort after the matrix cells).
+
+    The CI matrix runs one variant per leg (``-k "<variant> or
+    zz_chaos_matrix"``), so the title reflects the cells that actually ran
+    in this process, not the full grid."""
+    assert _ROWS, "matrix cells did not run"
+    rows = sorted(_ROWS, key=lambda r: (r["variant"], r["schedule"]))
+    variants = sorted({row["variant"] for row in rows})
+    schedules = sorted({row["schedule"] for row in rows})
+    table = format_table(
+        rows,
+        title=f"Chaos matrix — variants: {', '.join(variants)} x "
+        f"{len(schedules)} schedules (seed {SEED})",
+    )
+    print()
+    print(table)
+    save_results("chaos_matrix", table)

@@ -21,13 +21,22 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config import MDCCConfig
 from repro.db.checkers import check_constraints, check_replica_convergence
 from repro.db.cluster import build_cluster
+from repro.faults.controller import CHAOS_TABLE, ChaosController
+from repro.faults.schedule import FaultSchedule
 from repro.sim.monitor import LatencyRecorder
 from repro.workloads.generator import WorkloadStats
 from repro.workloads.geoshift import GeoShiftBenchmark
 from repro.workloads.micro import MicroBenchmark
 from repro.workloads.tpcw import TPCWBenchmark
 
-__all__ = ["ExperimentResult", "run_geoshift", "run_micro", "run_tpcw"]
+__all__ = [
+    "ExperimentResult",
+    "ScenarioResult",
+    "run_geoshift",
+    "run_micro",
+    "run_scenario",
+    "run_tpcw",
+]
 
 
 @dataclass
@@ -63,9 +72,25 @@ class ExperimentResult:
         }
 
 
+def _latency_summary(recorder: LatencyRecorder):
+    """(median, p90, p99) or Nones for an empty recorder."""
+    if len(recorder) == 0:
+        return None, None, None
+    return recorder.median, recorder.percentile(0.9), recorder.percentile(0.99)
+
+
+def _placement_extra(cluster) -> Dict[str, object]:
+    """The placement-related `extra` fields every result variant reports."""
+    if cluster.placement.is_adaptive:
+        return {
+            "master_policy": "adaptive",
+            "migrations": cluster.placement.directory.migrations,
+        }
+    return {"master_policy": cluster.placement.master_policy, "migrations": 0}
+
+
 def _collect(protocol, cluster, stats, workload, audit_table, audit_keys) -> ExperimentResult:
-    recorder = stats.write_latencies
-    has_latencies = len(recorder) > 0
+    median, p90, p99 = _latency_summary(stats.write_latencies)
     problems: List[str] = []
     divergent = 0
     violations = 0
@@ -78,21 +103,16 @@ def _collect(protocol, cluster, stats, workload, audit_table, audit_keys) -> Exp
         stats=stats,
         commits=stats.commits,
         aborts=stats.aborts,
-        median_ms=recorder.median if has_latencies else None,
-        p90_ms=recorder.percentile(0.9) if has_latencies else None,
-        p99_ms=recorder.percentile(0.99) if has_latencies else None,
+        median_ms=median,
+        p90_ms=p90,
+        p99_ms=p99,
         throughput_tps=stats.throughput_tps(),
         audit_problems=problems,
         divergent_records=divergent,
         constraint_violations=violations,
         counters=cluster.counters.as_dict(),
     )
-    if cluster.placement.is_adaptive:
-        result.extra["master_policy"] = "adaptive"
-        result.extra["migrations"] = cluster.placement.directory.migrations
-    else:
-        result.extra["master_policy"] = cluster.placement.master_policy
-        result.extra["migrations"] = 0
+    result.extra.update(_placement_extra(cluster))
     return result
 
 
@@ -264,3 +284,260 @@ def run_geoshift(
     result.extra["phase_ms"] = phase_ms
     result.extra["phases"] = int((warmup_ms + measure_ms) // phase_ms) + 1
     return result
+
+
+# ----------------------------------------------------------------------
+# Chaos scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """One (schedule × workload × variant) chaos run, fully summarized.
+
+    ``invariants`` aggregates the post-heal checker verdicts; a scenario
+    "passes" when every list is empty.  ``timeline`` covers the whole
+    measurement window in fixed buckets *including empty ones*, so bounded
+    unavailability is checkable ("commits continued in every bucket").
+    """
+
+    schedule: str
+    variant: str
+    workload: str
+    seed: int
+    stats: WorkloadStats
+    commits: int
+    aborts: int
+    median_ms: Optional[float]
+    p90_ms: Optional[float]
+    p99_ms: Optional[float]
+    throughput_tps: float
+    bucket_ms: float
+    timeline: List[Dict[str, object]] = field(default_factory=list)
+    audit_problems: List[str] = field(default_factory=list)
+    divergent_records: int = 0
+    constraint_violations: int = 0
+    probe_problems: List[str] = field(default_factory=list)
+    recovery_outcomes: List[Dict[str, object]] = field(default_factory=list)
+    chaos_events: List[Dict[str, object]] = field(default_factory=list)
+    dropped_by_reason: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of measurement-window buckets with >= 1 commit."""
+        if not self.timeline:
+            return 0.0
+        available = sum(1 for row in self.timeline if row["commits"] > 0)
+        return available / len(self.timeline)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.audit_problems
+            or self.divergent_records
+            or self.constraint_violations
+            or self.probe_problems
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """A deterministic, JSON-ready summary (the `chaos` CLI contract)."""
+        return {
+            "schedule": self.schedule,
+            "variant": self.variant,
+            "workload": self.workload,
+            "seed": self.seed,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "median_ms": None if self.median_ms is None else round(self.median_ms, 2),
+            "p90_ms": None if self.p90_ms is None else round(self.p90_ms, 2),
+            "p99_ms": None if self.p99_ms is None else round(self.p99_ms, 2),
+            "throughput_tps": round(self.throughput_tps, 2),
+            "availability": round(self.availability, 4),
+            "bucket_ms": self.bucket_ms,
+            "timeline": self.timeline,
+            "invariants": {
+                "audit_problems": len(self.audit_problems),
+                "divergent_records": self.divergent_records,
+                "constraint_violations": self.constraint_violations,
+                "probe_problems": len(self.probe_problems),
+                "clean": self.clean,
+            },
+            "recovery_outcomes": self.recovery_outcomes,
+            "chaos_events": self.chaos_events,
+            "dropped_by_reason": dict(sorted(self.dropped_by_reason.items())),
+            "migrations": self.extra.get("migrations", 0),
+            "master_policy": self.extra.get("master_policy", "hash"),
+        }
+
+
+_SCENARIO_TABLES = {"micro": "items", "geoshift": "items", "tpcw": "item"}
+
+
+def run_scenario(
+    schedule: FaultSchedule,
+    workload: Optional[str] = None,
+    variant: str = "mdcc",
+    num_clients: int = 20,
+    num_items: int = 300,
+    warmup_ms: float = 5_000.0,
+    measure_ms: float = 60_000.0,
+    seed: int = 7,
+    min_stock: int = 500,
+    max_stock: int = 1_000,
+    partitions_per_table: int = 2,
+    client_dcs: Optional[Sequence[str]] = None,
+    master_policy: Optional[str] = None,
+    config: Optional[MDCCConfig] = None,
+    bucket_ms: float = 5_000.0,
+    phase_ms: float = 15_000.0,
+    audit: bool = True,
+) -> ScenarioResult:
+    """Run ``workload`` on ``variant`` while ``schedule``'s faults fire.
+
+    The full lifecycle of one chaos cell:
+
+    1. build the cluster, install the :class:`ChaosController`;
+    2. drive the workload through warmup + measurement while scheduled
+       faults hit the network;
+    3. heal everything, let in-flight commits settle (``settle_ms``);
+    4. run anti-entropy sweeps so replicas that missed visibilities during
+       a fault catch up (the paper's §5.3.4 "background process");
+    5. run every invariant checker post-heal — update-ledger audit,
+       replica convergence, schema constraints, dangling-probe verdicts.
+
+    ``workload``/``master_policy`` default to the schedule's hints.
+    """
+    workload = workload or schedule.workload
+    if workload not in _SCENARIO_TABLES:
+        raise ValueError(
+            f"unknown scenario workload {workload!r}; "
+            f"choose from {', '.join(sorted(_SCENARIO_TABLES))}"
+        )
+    master_policy = master_policy or schedule.master_policy or "hash"
+    parts = 1 if variant == "megastore" else partitions_per_table
+    cluster = build_cluster(
+        variant,
+        seed=seed,
+        partitions_per_table=parts,
+        config=config,
+        master_policy=master_policy,
+    )
+    if workload == "tpcw":
+        bench = TPCWBenchmark(
+            num_items=num_items, min_stock=min_stock, max_stock=max_stock
+        )
+    elif workload == "geoshift":
+        bench = GeoShiftBenchmark(
+            num_items=num_items,
+            min_stock=min_stock,
+            max_stock=max_stock,
+            phase_ms=phase_ms,
+        )
+    else:
+        bench = MicroBenchmark(
+            num_items=num_items, min_stock=min_stock, max_stock=max_stock
+        )
+    table = _SCENARIO_TABLES[workload]
+
+    def workload_source():
+        keys = bench.item_keys if workload == "tpcw" else bench.keys
+        return table, keys
+
+    controller = ChaosController(cluster, schedule, workload_source=workload_source)
+    controller.install()
+    stats, pool = bench.run(
+        cluster,
+        num_clients=num_clients,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        client_dcs=client_dcs,
+    )
+    controller.heal_all()
+    pool.drain(schedule.settle_ms)
+
+    keys = workload_source()[1]
+    audit_problems: List[str] = []
+    divergent = 0
+    violations = 0
+    probe_problems: List[str] = []
+    if audit:
+        _run_antientropy(cluster, table, keys, controller)
+        audit_problems = bench.ledger.audit(cluster)
+        divergent = len(check_replica_convergence(cluster, table, keys))
+        violations = len(check_constraints(cluster, table, keys))
+        probe_problems = controller.probe_problems()
+
+    latency_sums: Dict[int, float] = {}
+    for timestamp, value in stats.latency_series.points:
+        if stats.measure_start <= timestamp < stats.measure_end:
+            index = int((timestamp - stats.measure_start) // bucket_ms)
+            latency_sums[index] = latency_sums.get(index, 0.0) + value
+    timeline = [
+        {
+            "t_s": round((start - stats.measure_start) / 1000.0, 1),
+            "commits": count,
+            "mean_ms": round(latency_sums[index] / count, 1) if count else None,
+        }
+        for index, (start, count) in enumerate(
+            stats.latency_series.bucket_counts(
+                bucket_ms, stats.measure_start, stats.measure_end
+            )
+        )
+    ]
+
+    median, p90, p99 = _latency_summary(stats.write_latencies)
+    result = ScenarioResult(
+        schedule=schedule.name,
+        variant=variant,
+        workload=workload,
+        seed=seed,
+        stats=stats,
+        commits=stats.commits,
+        aborts=stats.aborts,
+        median_ms=median,
+        p90_ms=p90,
+        p99_ms=p99,
+        throughput_tps=stats.throughput_tps(),
+        bucket_ms=bucket_ms,
+        timeline=timeline,
+        audit_problems=audit_problems,
+        divergent_records=divergent,
+        constraint_violations=violations,
+        probe_problems=probe_problems,
+        recovery_outcomes=list(controller.recovery_outcomes),
+        chaos_events=controller.log_as_rows(),
+        dropped_by_reason=dict(cluster.network.stats.dropped_by_reason),
+    )
+    result.extra.update(_placement_extra(cluster))
+    return result
+
+
+def _run_antientropy(cluster, table: str, keys, controller: ChaosController) -> None:
+    """Sweep workload + probe records until nothing lags (max 4 rounds).
+
+    The sweeps repair version lag via catch-up, re-drive visibilities a
+    fault ate, and escalate provably-stuck options to a recovery agent —
+    so a later round is needed to observe the effects of the repairs the
+    previous round kicked off."""
+    agent = cluster.add_anti_entropy_agent(cluster.placement.datacenters[0])
+    if cluster.protocol in ("mdcc", "fast", "multi"):
+        agent.attach_recovery(
+            cluster.add_recovery_agent(cluster.placement.datacenters[0])
+        )
+    for _round in range(4):
+        report = cluster.sim.run_until(
+            agent.sweep(table, keys), limit=cluster.sim.now + 120_000
+        )
+        if controller.probe_keys:
+            probe_report = cluster.sim.run_until(
+                agent.sweep(CHAOS_TABLE, controller.probe_keys),
+                limit=cluster.sim.now + 120_000,
+            )
+            report.merge(probe_report)
+        cluster.sim.run(until=cluster.sim.now + 10_000)
+        if (
+            report.records_with_lag == 0
+            and report.unreachable_replies == 0
+            and report.visibilities_redriven == 0
+            and report.recoveries_triggered == 0
+        ):
+            break

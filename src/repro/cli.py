@@ -8,12 +8,16 @@ script::
     python -m repro compare --protocols mdcc,2pc,qw4 --workload micro
     python -m repro run --protocol mdcc --fail-dc us-east --fail-at-s 30
     python -m repro run --protocol multi --workload geoshift --master-policy adaptive
+    python -m repro chaos dc-outage --variant multi --seed 7
     python -m repro list
 
 ``run`` executes one experiment and prints a summary (or ``--json``);
 ``compare`` runs several protocols on the identical workload and prints
-the Figure-3-style comparison table; ``list`` enumerates the available
-protocols, workloads and master policies.
+the Figure-3-style comparison table; ``chaos`` replays a named fault
+schedule (:mod:`repro.faults`) against one MDCC variant and prints the
+scenario verdict as JSON — deterministic for a given seed, so two runs
+diff empty; ``list`` enumerates the available protocols, workloads,
+master policies and chaos schedules.
 """
 
 from __future__ import annotations
@@ -27,10 +31,12 @@ from repro.bench.harness import (
     ExperimentResult,
     run_geoshift,
     run_micro,
+    run_scenario,
     run_tpcw,
 )
 from repro.core.config import MDCCConfig, ProtocolVariant
 from repro.db.cluster import PROTOCOLS
+from repro.faults.schedule import NAMED_SCHEDULES, named_schedule
 
 __all__ = ["build_parser", "main"]
 
@@ -63,6 +69,14 @@ _MASTER_POLICY_NOTES = {
     "fixed:<dc>": "static, all masters in one data center",
     "table": "static, the table schema's default master DC (Python API only)",
     "adaptive": "dynamic: mastership migrates to the dominant write origin",
+}
+
+_CHAOS_NOTES = {
+    "dc-outage": "Figure 8: one full data-center outage and recovery",
+    "rolling-partitions": "successive N-way splits sweeping the fabric",
+    "flaky-wan": "degraded links: latency, jitter, loss, a flapping route",
+    "coordinator-crash": "dangling transactions + a master crash/re-election",
+    "follow-the-sun-outage": "geoshift + adaptive placement; hotspot DC dies",
 }
 
 
@@ -116,8 +130,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--json", action="store_true")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a named fault schedule against one MDCC variant",
+        description="Runs a chaos scenario (see `repro list` for the named "
+        "schedules) and prints the scenario verdict as JSON: availability "
+        "timeline, invariant-checker results, recovery outcomes and the "
+        "fault event log.  Deterministic for a given --seed.",
+    )
+    chaos.add_argument(
+        "schedule", choices=NAMED_SCHEDULES, help="named fault schedule"
+    )
+    chaos.add_argument(
+        "--variant",
+        choices=("mdcc", "fast", "multi"),
+        default="mdcc",
+        help="MDCC protocol variant under test",
+    )
+    chaos.add_argument("--workload", choices=WORKLOADS, default=None)
+    chaos.add_argument("--clients", type=int, default=20)
+    chaos.add_argument("--items", type=int, default=300)
+    chaos.add_argument("--warmup-s", type=float, default=5.0)
+    chaos.add_argument("--measure-s", type=float, default=60.0)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--bucket-s",
+        type=float,
+        default=5.0,
+        help="availability-timeline bucket width in seconds",
+    )
+    chaos.add_argument(
+        "--master-policy",
+        type=_master_policy,
+        default=None,
+        help="override the schedule's master-policy hint",
+    )
+    chaos.add_argument(
+        "--events",
+        action="store_true",
+        help="include the full chaos event log in the output",
+    )
+
     lister = sub.add_parser(
-        "list", help="enumerate protocols, workloads and master policies"
+        "list",
+        help="enumerate protocols, workloads, master policies and "
+        "chaos schedules",
     )
     lister.add_argument("--json", action="store_true")
     return parser
@@ -252,11 +309,40 @@ def _as_dict(result: ExperimentResult) -> dict:
     }
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    schedule = named_schedule(
+        args.schedule,
+        start_ms=args.warmup_s * 1_000.0,
+        duration_ms=args.measure_s * 1_000.0,
+    )
+    result = run_scenario(
+        schedule,
+        workload=args.workload,
+        variant=args.variant,
+        num_clients=args.clients,
+        num_items=args.items,
+        warmup_ms=args.warmup_s * 1_000.0,
+        measure_ms=args.measure_s * 1_000.0,
+        seed=args.seed,
+        master_policy=args.master_policy,
+        bucket_ms=args.bucket_s * 1_000.0,
+    )
+    payload = result.as_dict()
+    # Stable schema: the count is always present; the (possibly long)
+    # event list only with --events, and always as a list.
+    payload["chaos_event_count"] = len(payload["chaos_events"])
+    if not args.events:
+        del payload["chaos_events"]
+    print(json.dumps(payload, indent=2))
+    return 0 if result.clean else 1
+
+
 def _run_list(as_json: bool) -> int:
     catalogue = {
         "protocols": _PROTOCOL_NOTES,
         "workloads": _WORKLOAD_NOTES,
         "master_policies": _MASTER_POLICY_NOTES,
+        "chaos_schedules": _CHAOS_NOTES,
     }
     if as_json:
         print(json.dumps(catalogue, indent=2))
@@ -292,6 +378,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _run_list(args.json)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "run":
         result = _run_one(args.protocol, args)
         if args.json:

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MDCCConfig
-from repro.core.messages import CatchUp, RepairProbe, RepairReply
+from repro.core.messages import CatchUp, RepairProbe, RepairReply, Visibility
 from repro.core.options import RecordId
 from repro.core.topology import ReplicaMap
 from repro.sim.core import Future, Simulator
@@ -51,12 +51,20 @@ class SweepReport:
     replicas_repaired: int = 0
     records_with_lag: int = 0
     unreachable_replies: int = 0  # replicas that never answered the probe
+    #: visibilities re-driven for options executed elsewhere but stuck
+    #: pending at some replica (the dropped-visibility case).
+    visibilities_redriven: int = 0
+    #: dangling transactions handed to the recovery agent (§3.2.3): their
+    #: option is pending somewhere but provably executed nowhere.
+    recoveries_triggered: int = 0
 
     def merge(self, other: "SweepReport") -> None:
         self.records_swept += other.records_swept
         self.replicas_repaired += other.replicas_repaired
         self.records_with_lag += other.records_with_lag
         self.unreachable_replies += other.unreachable_replies
+        self.visibilities_redriven += other.visibilities_redriven
+        self.recoveries_triggered += other.recoveries_triggered
 
 
 @dataclass
@@ -100,6 +108,17 @@ class AntiEntropyAgent(Node):
         self._probe_futures: Dict[int, Future] = {}
         self._periodic_timer = None
         self._periodic_args: Optional[Tuple[str, List[str], float]] = None
+        #: optional §3.2.3 recovery agent for dangling pending options.
+        self._recovery = None
+
+    def attach_recovery(self, recovery_agent) -> None:
+        """Escalate unprovable pending options to ``recovery_agent``.
+
+        Without one, sweeps re-drive only visibilities whose commit is
+        proven by another replica's applied set; options that are pending
+        everywhere (a coordinator died before ANY replica executed) stay
+        parked until some recovery agent reconstructs the transaction."""
+        self._recovery = recovery_agent
 
     # ------------------------------------------------------------------
     # One-shot sweep
@@ -177,7 +196,42 @@ class AntiEntropyAgent(Node):
                 self.counters.increment(
                     "antientropy.repairs", amount=len(behind)
                 )
+            self._repair_pending(probe, report)
         future.resolve(report)
+
+    def _repair_pending(self, probe: _Probe, report: SweepReport) -> None:
+        """Finish visibilities a partition ate (§3.2.3's promise).
+
+        A replica that accepted an option but never saw its visibility
+        keeps it pending forever — blocking validSingle and, for deltas,
+        silently diverging from peers *at the same version* (which the
+        version-based catch-up above can never fix).  Two cases:
+
+        * executed at any peer → the commit decision is proven; re-drive
+          ``Visibility(committed=True)`` to the stuck replica directly.
+        * executed nowhere → the outcome is unknown here; hand the txid to
+          the attached recovery agent, which reconstructs the transaction
+          from a quorum and drives it to a definitive outcome.
+        """
+        applied_anywhere: set = set()
+        for reply in probe.replies.values():
+            applied_anywhere.update(reply.applied_ids)
+        escalated: set = set()
+        for node_id, reply in probe.replies.items():
+            for option in reply.pending:
+                if option.option_id in applied_anywhere:
+                    self.send(node_id, Visibility(option=option, committed=True))
+                    report.visibilities_redriven += 1
+                    self.counters.increment("antientropy.visibility_redriven")
+                elif self._recovery is not None and option.txid not in escalated:
+                    # recover() dedups an in-flight recovery and restarts
+                    # one that gave up, so re-escalating each sweep is safe
+                    # — and necessary: permanent suppression would strand
+                    # the record if an earlier attempt ran out of retries.
+                    escalated.add(option.txid)
+                    self._recovery.recover(option.txid, probe.record)
+                    report.recoveries_triggered += 1
+                    self.counters.increment("antientropy.recoveries_triggered")
 
     # ------------------------------------------------------------------
     # Periodic operation

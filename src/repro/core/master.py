@@ -197,11 +197,19 @@ class MasterRole:
                         applied_ids=newest.applied_ids,
                     ),
                 )
+        # An acceptor whose cstruct has fully executed (and been pruned)
+        # reports cstruct=None but still carries its accepted ballot — that
+        # is a VOTE for the empty cstruct at that ballot, not an abstention.
+        # Discarding it would let a stale lower-ballot accept (e.g. from a
+        # replica that was dark through a failover) masquerade as the
+        # highest vote and resurrect an option that was never chosen.
         reports = [
             CStructReport(
                 acceptor=replica_id,
                 ballot=reply.accepted_ballot,
-                value=reply.cstruct,
+                value=reply.cstruct
+                if reply.cstruct is not None or reply.accepted_ballot is None
+                else CStruct(),
             )
             for replica_id, reply in ms.phase1_replies.items()
         ]

@@ -54,6 +54,13 @@ class _RecoveryState:
     escalated: Set[RecordId] = field(default_factory=set)
     probed: Set[RecordId] = field(default_factory=set)
     finished: bool = False
+    #: completed retry rounds — rotates the escalation target so a dead
+    #: master does not wedge the recovery (same failover order coordinators
+    #: use), and bounds the re-probe loop.
+    retry_round: int = 0
+    #: the retry cap was hit with no verdict; a later recover() call for
+    #: the same txid starts over instead of returning the dead future.
+    gave_up: bool = False
 
 
 class RecoveryAgent(Node):
@@ -77,6 +84,8 @@ class RecoveryAgent(Node):
         self._request_seq = itertools.count(1)
         self._by_txid: Dict[str, _RecoveryState] = {}
         self._by_request: Dict[int, _RecoveryState] = {}
+        #: retry rounds before declaring the quorum unreachable.
+        self._max_retry_rounds = 100
 
     # ------------------------------------------------------------------
     # API
@@ -85,10 +94,13 @@ class RecoveryAgent(Node):
         """Recover ``txid`` given any record it wrote.
 
         Resolves with True if the transaction was committed, False if it
-        was aborted.
+        was aborted.  Duplicate calls return the in-flight future; a
+        recovery that previously gave up (quorum unreachable through the
+        whole retry budget) is restarted from scratch.
         """
-        if txid in self._by_txid:
-            return self._by_txid[txid].future
+        existing = self._by_txid.get(txid)
+        if existing is not None and not existing.gave_up:
+            return existing.future
         state = _RecoveryState(
             txid=txid,
             future=self.sim.future(),
@@ -98,6 +110,7 @@ class RecoveryAgent(Node):
         self._by_request[state.request_id] = state
         self._probe(state, hint_record)
         self.counters.increment("recovery.started")
+        self.set_timer(self.config.recovery_timeout_ms, self._retry, state)
         return state.future
 
     # ------------------------------------------------------------------
@@ -145,11 +158,15 @@ class RecoveryAgent(Node):
                 self._decide(state, record, OptionStatus.REJECTED)
             return
         # An option exists but its fate is ambiguous: force a definitive
-        # decision through the master's classic round.
+        # decision through the master's classic round.  The target rotates
+        # through the failover candidates with each retry round, so a dead
+        # or unreachable master cannot wedge the recovery.
         if record not in state.escalated:
             state.escalated.add(record)
+            candidates = self.placement.master_candidates(record)
+            target = candidates[state.retry_round % len(candidates)]
             self.send(
-                self.placement.master_node(record),
+                target,
                 StartRecovery(
                     record=record,
                     reason="timeout",
@@ -163,6 +180,49 @@ class RecoveryAgent(Node):
         if state is None or state.finished:
             return
         self._decide(state, message.record, message.status)
+
+    # ------------------------------------------------------------------
+    # Retry loop
+    # ------------------------------------------------------------------
+    def _retry(self, state: _RecoveryState) -> None:
+        """Re-drive lost probes and escalations until the verdict lands.
+
+        Status requests and StartRecovery messages are fire-and-forget;
+        on a lossy or partitioned network any of them can vanish, and a
+        single-shot agent would wait forever.  Every round re-probes the
+        replicas that have not answered and re-arms escalation (acceptors
+        and masters deduplicate, so repeats are harmless).  Bounded so an
+        unreachable quorum fails the simulation loudly instead of spinning.
+        """
+        if state.finished:
+            return
+        state.retry_round += 1
+        if state.retry_round > self._max_retry_rounds:
+            state.gave_up = True
+            self.counters.increment("recovery.gave_up")
+            return
+        for record in list(state.probed):
+            if record in state.decisions:
+                continue
+            replies = state.replies.get(record, {})
+            missing = [
+                replica
+                for replica in self.placement.replicas(record)
+                if replica not in replies
+            ]
+            if missing:
+                self.broadcast(
+                    missing,
+                    StatusRequest(
+                        txid=state.txid,
+                        record=record,
+                        request_id=state.request_id,
+                    ),
+                )
+            state.escalated.discard(record)
+            self._evaluate(state, record)
+        self.counters.increment("recovery.retries")
+        self.set_timer(self.config.recovery_timeout_ms, self._retry, state)
 
     # ------------------------------------------------------------------
     # Decision

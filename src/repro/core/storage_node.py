@@ -263,6 +263,7 @@ class MDCCStorageNode(Node):
                 value=snapshot.value,
                 version=snapshot.version,
                 applied_ids=tuple(state.record.applied_ids),
+                pending=tuple(state.pending_options()),
             ),
         )
 

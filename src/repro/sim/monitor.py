@@ -242,3 +242,24 @@ class TimeSeries:
         if not values:
             raise ValueError(f"no samples in [{start}, {end})")
         return sum(values) / len(values)
+
+    def bucket_counts(
+        self, bucket_ms: float, start: float, end: float
+    ) -> List[Tuple[float, int]]:
+        """(bucket_start, sample_count) for EVERY bucket covering [start, end).
+
+        Unlike :meth:`bucket_means`, empty buckets appear with count 0 —
+        the chaos harness reads "zero commits landed in this window" as an
+        unavailability verdict, so silence must be visible."""
+        if bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+        counts: Dict[int, int] = {}
+        for timestamp, _value in self._points:
+            if start <= timestamp < end:
+                index = int((timestamp - start) // bucket_ms)
+                counts[index] = counts.get(index, 0) + 1
+        total = int(math.ceil((end - start) / bucket_ms))
+        return [
+            (start + index * bucket_ms, counts.get(index, 0))
+            for index in range(total)
+        ]

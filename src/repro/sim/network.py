@@ -10,14 +10,17 @@ farther than the 3rd is what separates QW-4/MDCC from QW-3 in Figure 3.
 
 Failure injection mirrors §5.3.4: failing a data center silently drops every
 message to or from its nodes ("we simulated the failed data center by
-preventing the data center from receiving any messages").
+preventing the data center from receiving any messages").  Beyond the
+paper's single scripted outage, the fabric supports the fault vocabulary of
+the chaos engine (:mod:`repro.faults`): N-way partitions, per-node crashes,
+and composable per-link degradation policies (added latency, jitter, loss).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.core import SimulationError, Simulator
 from repro.sim.rng import RngRegistry
@@ -26,6 +29,7 @@ __all__ = [
     "DEFAULT_RTT_MATRIX",
     "EC2_REGIONS",
     "LatencyModel",
+    "LinkPolicy",
     "Network",
     "NetworkStats",
 ]
@@ -118,6 +122,28 @@ class LatencyModel:
         return out
 
 
+@dataclass(frozen=True)
+class LinkPolicy:
+    """A composable degradation applied to one DC pair's traffic.
+
+    Stacks on top of the base :class:`LatencyModel` sample: extra one-way
+    latency, extra lognormal jitter on that latency, and an independent
+    loss probability.  ``drop_rate=1.0`` is a severed (flapped-down) link.
+    """
+
+    extra_latency_ms: float = 0.0
+    jitter_sigma: float = 0.0
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_latency_ms < 0:
+            raise SimulationError(f"negative extra latency: {self.extra_latency_ms}")
+        if self.jitter_sigma < 0:
+            raise SimulationError(f"negative jitter sigma: {self.jitter_sigma}")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise SimulationError(f"drop rate out of range: {self.drop_rate}")
+
+
 @dataclass
 class NetworkStats:
     """Aggregate network counters, exposed for benchmarks and tests."""
@@ -126,17 +152,26 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
+    #: why messages were dropped: "dc-failure", "partition", "node-failure",
+    #: "link-policy", "random", "unknown-destination".  Previously a DC
+    #: outage and a partition were indistinguishable in the totals.
+    dropped_by_reason: Dict[str, int] = field(default_factory=dict)
 
     def note_sent(self, message: object) -> None:
         self.messages_sent += 1
         name = type(message).__name__
         self.per_type[name] = self.per_type.get(name, 0) + 1
 
-    def snapshot(self) -> Dict[str, int]:
+    def note_dropped(self, reason: str) -> None:
+        self.messages_dropped += 1
+        self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
         return {
             "sent": self.messages_sent,
             "delivered": self.messages_delivered,
             "dropped": self.messages_dropped,
+            "dropped_by_reason": dict(sorted(self.dropped_by_reason.items())),
         }
 
 
@@ -153,10 +188,21 @@ class Network:
     Failure injection:
 
     * :meth:`fail_datacenter` / :meth:`recover_datacenter` — drop all
-      traffic touching a DC (Figure 8's scenario).
+      traffic touching a DC (Figure 8's scenario).  Idempotent: repeated
+      calls (and repeats racing in-flight timers) are no-ops.
+    * :meth:`fail_node` / :meth:`recover_node` — drop all traffic touching
+      one node (a master crash, not a whole-DC outage).
     * :meth:`partition` / :meth:`heal_partition` — drop traffic between two
       specific DCs.
+    * :meth:`partition_groups` / :meth:`clear_partition_groups` — an N-way
+      split: DCs talk only within their group; unlisted DCs form one
+      implicit remainder group.
+    * :meth:`set_link_policy` / :meth:`clear_link_policy` — degrade one DC
+      pair (added latency, jitter, loss).
     * :meth:`set_drop_rate` — uniform random message loss.
+
+    Every fault transition notifies subscribers registered via
+    :meth:`subscribe` — the hook the chaos engine's event log hangs off.
     """
 
     def __init__(
@@ -169,9 +215,15 @@ class Network:
         registry = rng_registry or RngRegistry(seed=0)
         self.latency = latency_model or LatencyModel(rng_registry=registry)
         self._drop_rng = registry.stream("network.drop")
+        self._link_rng = registry.stream("network.linkfault")
         self._nodes: Dict[str, "NodeLike"] = {}
         self._failed_dcs: set[str] = set()
+        self._failed_nodes: set[str] = set()
         self._partitions: set[FrozenSet[str]] = set()
+        #: dc -> group index under an N-way partition (None = no split).
+        self._groups: Optional[Dict[str, int]] = None
+        self._link_policies: Dict[FrozenSet[str], LinkPolicy] = {}
+        self._listeners: List[Callable[[float, str, Dict[str, object]], None]] = []
         self.drop_rate = 0.0
         self.stats = NetworkStats()
 
@@ -203,15 +255,25 @@ class Network:
         src = self._nodes[src_id]
         dst = self._nodes.get(dst_id)
         if dst is None:
-            self.stats.messages_dropped += 1
+            self.stats.note_dropped("unknown-destination")
             return
-        if not self._link_up(src.dc, dst.dc):
-            self.stats.messages_dropped += 1
+        blocked = self._blocked_reason(src_id, src.dc, dst_id, dst.dc)
+        if blocked is not None:
+            self.stats.note_dropped(blocked)
             return
         if self.drop_rate > 0 and self._drop_rng.random() < self.drop_rate:
-            self.stats.messages_dropped += 1
+            self.stats.note_dropped("random")
             return
         delay = self.latency.one_way(src.dc, dst.dc)
+        policy = self._link_policies.get(frozenset((src.dc, dst.dc)))
+        if policy is not None:
+            if policy.drop_rate > 0 and self._link_rng.random() < policy.drop_rate:
+                self.stats.note_dropped("link-policy")
+                return
+            extra = policy.extra_latency_ms
+            if policy.jitter_sigma > 0:
+                extra *= math.exp(self._link_rng.gauss(0.0, policy.jitter_sigma))
+            delay += extra
         self.sim.schedule(delay, self._deliver, dst_id, message, src_id)
 
     def broadcast(self, src_id: str, dst_ids: Iterable[str], message: object) -> int:
@@ -225,11 +287,14 @@ class Network:
     def _deliver(self, dst_id: str, message: object, src_id: str) -> None:
         dst = self._nodes.get(dst_id)
         if dst is None:
-            self.stats.messages_dropped += 1
+            self.stats.note_dropped("unknown-destination")
             return
-        # A DC failed while the message was in flight also loses it.
+        # A DC or node that failed while the message was in flight loses it.
         if dst.dc in self._failed_dcs:
-            self.stats.messages_dropped += 1
+            self.stats.note_dropped("dc-failure")
+            return
+        if dst_id in self._failed_nodes:
+            self.stats.note_dropped("node-failure")
             return
         self.stats.messages_delivered += 1
         dst.on_message(message, src_id)
@@ -237,19 +302,108 @@ class Network:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
+    def subscribe(
+        self, listener: Callable[[float, str, Dict[str, object]], None]
+    ) -> None:
+        """Register ``listener(now_ms, event, details)`` for every fault
+        transition.  No-op transitions (failing an already-failed DC) do
+        not fire — the hook reports effective state changes only."""
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, **details: object) -> None:
+        for listener in self._listeners:
+            listener(self.sim.now, event, dict(details))
+
     def fail_datacenter(self, dc: str) -> None:
-        """Drop all traffic to and from ``dc`` until recovery (§5.3.4)."""
+        """Drop all traffic to and from ``dc`` until recovery (§5.3.4).
+
+        Idempotent: a second failure of an already-dark DC — a scheduled
+        fault racing an in-flight timer that already fired — changes
+        nothing and notifies nobody."""
+        if dc in self._failed_dcs:
+            return
         self._failed_dcs.add(dc)
+        self._notify("dc-failed", dc=dc)
 
     def recover_datacenter(self, dc: str) -> None:
+        if dc not in self._failed_dcs:
+            return
         self._failed_dcs.discard(dc)
+        self._notify("dc-recovered", dc=dc)
+
+    def fail_node(self, node_id: str) -> None:
+        """Crash one node: all its traffic drops until :meth:`recover_node`.
+
+        Finer-grained than a DC outage — e.g. a master crash that leaves
+        the rest of its data center serving."""
+        if node_id in self._failed_nodes:
+            return
+        self._failed_nodes.add(node_id)
+        self._notify("node-failed", node_id=node_id)
+
+    def recover_node(self, node_id: str) -> None:
+        if node_id not in self._failed_nodes:
+            return
+        self._failed_nodes.discard(node_id)
+        self._notify("node-recovered", node_id=node_id)
 
     def partition(self, dc_a: str, dc_b: str) -> None:
         """Sever the link between two data centers (both directions)."""
-        self._partitions.add(frozenset((dc_a, dc_b)))
+        pair = frozenset((dc_a, dc_b))
+        if pair in self._partitions:
+            return
+        self._partitions.add(pair)
+        self._notify("partitioned", pair=tuple(sorted(pair)))
 
     def heal_partition(self, dc_a: str, dc_b: str) -> None:
-        self._partitions.discard(frozenset((dc_a, dc_b)))
+        pair = frozenset((dc_a, dc_b))
+        if pair not in self._partitions:
+            return
+        self._partitions.discard(pair)
+        self._notify("partition-healed", pair=tuple(sorted(pair)))
+
+    def partition_groups(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the fabric N ways: traffic flows only within a group.
+
+        DCs not named in any group form one implicit remainder group (they
+        can still talk to each other, but to no listed DC).  Replaces any
+        previous group split; pairwise :meth:`partition` cuts compose on
+        top."""
+        assignment: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for dc in group:
+                if dc in assignment:
+                    raise SimulationError(f"DC {dc!r} appears in two groups")
+                assignment[dc] = index
+        self._groups = assignment
+        self._notify(
+            "partition-groups",
+            groups=tuple(tuple(sorted(g)) for g in groups),
+        )
+
+    def clear_partition_groups(self) -> None:
+        if self._groups is None:
+            return
+        self._groups = None
+        self._notify("partition-groups-cleared")
+
+    def set_link_policy(self, dc_a: str, dc_b: str, policy: LinkPolicy) -> None:
+        """Degrade the ``dc_a <-> dc_b`` link (both directions)."""
+        self._link_policies[frozenset((dc_a, dc_b))] = policy
+        self._notify(
+            "link-degraded",
+            pair=tuple(sorted((dc_a, dc_b))),
+            extra_latency_ms=policy.extra_latency_ms,
+            jitter_sigma=policy.jitter_sigma,
+            drop_rate=policy.drop_rate,
+        )
+
+    def clear_link_policy(self, dc_a: str, dc_b: str) -> None:
+        if self._link_policies.pop(frozenset((dc_a, dc_b)), None) is not None:
+            self._notify("link-restored", pair=tuple(sorted((dc_a, dc_b))))
+
+    def link_policy(self, dc_a: str, dc_b: str) -> Optional[LinkPolicy]:
+        return self._link_policies.get(frozenset((dc_a, dc_b)))
 
     def set_drop_rate(self, rate: float) -> None:
         """Uniform random loss probability applied to every message."""
@@ -260,12 +414,52 @@ class Network:
     def is_failed(self, dc: str) -> bool:
         return dc in self._failed_dcs
 
-    def _link_up(self, src_dc: str, dst_dc: str) -> bool:
+    def is_node_failed(self, node_id: str) -> bool:
+        return node_id in self._failed_nodes
+
+    def active_faults(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of every fault currently in force."""
+        return {
+            "failed_dcs": sorted(self._failed_dcs),
+            "failed_nodes": sorted(self._failed_nodes),
+            "partitions": sorted(tuple(sorted(p)) for p in self._partitions),
+            "groups": None
+            if self._groups is None
+            else dict(sorted(self._groups.items())),
+            "degraded_links": sorted(
+                tuple(sorted(pair)) for pair in self._link_policies
+            ),
+            "drop_rate": self.drop_rate,
+        }
+
+    def heal_all(self) -> None:
+        """Lift every standing fault (the post-scenario cleanup)."""
+        for dc in sorted(self._failed_dcs):
+            self.recover_datacenter(dc)
+        for node_id in sorted(self._failed_nodes):
+            self.recover_node(node_id)
+        for pair in sorted(self._partitions, key=sorted):
+            self.heal_partition(*pair)
+        self.clear_partition_groups()
+        for pair in sorted(self._link_policies, key=sorted):
+            self.clear_link_policy(*pair)
+        self.drop_rate = 0.0
+
+    def _blocked_reason(
+        self, src_id: str, src_dc: str, dst_id: str, dst_dc: str
+    ) -> Optional[str]:
         if src_dc in self._failed_dcs or dst_dc in self._failed_dcs:
-            return False
-        if frozenset((src_dc, dst_dc)) in self._partitions:
-            return False
-        return True
+            return "dc-failure"
+        if src_id in self._failed_nodes or dst_id in self._failed_nodes:
+            return "node-failure"
+        if src_dc != dst_dc:
+            if frozenset((src_dc, dst_dc)) in self._partitions:
+                return "partition"
+            if self._groups is not None and self._groups.get(
+                src_dc, -1
+            ) != self._groups.get(dst_dc, -1):
+                return "partition"
+        return None
 
 
 class NodeLike:

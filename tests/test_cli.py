@@ -106,17 +106,84 @@ class TestList:
     def test_list_table(self, capsys):
         code, out = run_cli(capsys, "list")
         assert code == 0
-        for name in ("mdcc", "megastore", "geoshift", "adaptive", "fixed:<dc>"):
+        for name in (
+            "mdcc",
+            "megastore",
+            "geoshift",
+            "adaptive",
+            "fixed:<dc>",
+            "dc-outage",
+        ):
             assert name in out
 
     def test_list_json(self, capsys):
         code, out = run_cli(capsys, "list", "--json")
         assert code == 0
         catalogue = json.loads(out)
-        assert set(catalogue) == {"protocols", "workloads", "master_policies"}
+        assert set(catalogue) == {
+            "protocols",
+            "workloads",
+            "master_policies",
+            "chaos_schedules",
+        }
         assert "multi" in catalogue["protocols"]
         assert "geoshift" in catalogue["workloads"]
         assert "adaptive" in catalogue["master_policies"]
+        assert "flaky-wan" in catalogue["chaos_schedules"]
+
+
+CHAOS_SMALL = (
+    "--clients", "5",
+    "--items", "100",
+    "--warmup-s", "2",
+    "--measure-s", "12",
+    "--bucket-s", "3",
+)
+
+
+class TestChaos:
+    def test_chaos_dc_outage_json_verdict(self, capsys):
+        code, out = run_cli(capsys, "chaos", "dc-outage", *CHAOS_SMALL)
+        assert code == 0  # exit 0 == invariants clean
+        payload = json.loads(out)
+        assert payload["schedule"] == "dc-outage"
+        assert payload["variant"] == "mdcc"
+        assert payload["commits"] > 0
+        assert payload["invariants"]["clean"] is True
+        # The timeline covers the whole measurement window, empty buckets
+        # included (12s / 3s buckets).
+        assert len(payload["timeline"]) == 4
+
+    def test_chaos_deterministic_across_runs(self, capsys):
+        code_a, out_a = run_cli(
+            capsys, "chaos", "dc-outage", "--variant", "multi", "--seed", "7",
+            *CHAOS_SMALL,
+        )
+        code_b, out_b = run_cli(
+            capsys, "chaos", "dc-outage", "--variant", "multi", "--seed", "7",
+            *CHAOS_SMALL,
+        )
+        assert code_a == code_b == 0
+        assert out_a == out_b  # identical JSON, byte for byte
+
+    def test_chaos_seed_changes_output(self, capsys):
+        _, out_a = run_cli(capsys, "chaos", "flaky-wan", "--seed", "1", *CHAOS_SMALL)
+        _, out_b = run_cli(capsys, "chaos", "flaky-wan", "--seed", "2", *CHAOS_SMALL)
+        assert json.loads(out_a)["commits"] != json.loads(out_b)["commits"]
+
+    def test_chaos_events_flag_includes_log(self, capsys):
+        code, out = run_cli(
+            capsys, "chaos", "dc-outage", "--events", *CHAOS_SMALL
+        )
+        assert code == 0
+        events = json.loads(out)["chaos_events"]
+        assert isinstance(events, list)
+        assert any(e["event"] == "dc-failed" for e in events)
+        assert any(e["event"] == "dc-recovered" for e in events)
+
+    def test_chaos_unknown_schedule_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "meteor-strike", *CHAOS_SMALL])
 
 
 class TestMasterPolicy:

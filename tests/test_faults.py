@@ -1,0 +1,226 @@
+"""Unit tests for the chaos engine: schedules, controller, scenario glue."""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.db.cluster import build_cluster
+from repro.faults import (
+    CHAOS_TABLE,
+    ChaosController,
+    FaultSchedule,
+    NAMED_SCHEDULES,
+    named_schedule,
+)
+from repro.storage.schema import Constraint, TableSchema
+
+
+class TestFaultSchedule:
+    def test_builder_chains_and_sorts(self):
+        schedule = (
+            FaultSchedule("s")
+            .recover_dc(40.0, "us-east")
+            .fail_dc(10.0, "us-east")
+            .degrade_link(20.0, "us-west", "us-east", extra_latency_ms=50.0)
+        )
+        assert [e.action for e in schedule.sorted_events()] == [
+            "fail-dc",
+            "degrade-link",
+            "recover-dc",
+        ]
+        assert schedule.horizon_ms == 40.0
+        assert schedule.count("fail-dc") == 1
+
+    def test_pair_params_are_order_insensitive(self):
+        a = FaultSchedule("a").partition_pair(1.0, "us-west", "eu-west")
+        b = FaultSchedule("b").partition_pair(1.0, "eu-west", "us-west")
+        assert a.events[0].params == b.events[0].params
+
+    def test_flap_link_expands_to_degrade_restore_cycles(self):
+        schedule = FaultSchedule("s").flap_link(
+            100.0, "a-dc", "b-dc", period_ms=50.0, cycles=3
+        )
+        assert schedule.count("degrade-link") == 3
+        assert schedule.count("restore-link") == 3
+        downs = [
+            e.at_ms for e in schedule.sorted_events() if e.action == "degrade-link"
+        ]
+        assert downs == [100.0, 150.0, 200.0]
+        # Flap-down is a full outage of the link.
+        assert schedule.sorted_events()[0].params_dict["drop_rate"] == 1.0
+
+    def test_as_dict_is_json_friendly_and_sorted(self):
+        schedule = FaultSchedule("s", description="d").fail_dc(5.0, "eu-west")
+        payload = schedule.as_dict()
+        assert payload["name"] == "s"
+        assert payload["events"] == [
+            {"at_ms": 5.0, "action": "fail-dc", "params": {"dc": "eu-west"}}
+        ]
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule("s").fail_dc(-1.0, "us-east")
+
+    def test_named_schedules_scale_with_window(self):
+        small = named_schedule("dc-outage", start_ms=0, duration_ms=10_000)
+        large = named_schedule("dc-outage", start_ms=0, duration_ms=100_000)
+        assert small.horizon_ms == pytest.approx(large.horizon_ms / 10)
+        assert [e.action for e in small.sorted_events()] == [
+            e.action for e in large.sorted_events()
+        ]
+
+    def test_every_named_schedule_builds(self):
+        for name in NAMED_SCHEDULES:
+            schedule = named_schedule(name)
+            assert schedule.name == name
+            assert schedule.events
+            assert 0 < schedule.min_availability <= 1
+
+    def test_unknown_named_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            named_schedule("meteor-strike")
+
+
+ITEMS = TableSchema("items", constraints={"stock": Constraint(minimum=0)})
+
+
+def make_cluster(seed=3, protocol="mdcc"):
+    cluster = build_cluster(protocol, seed=seed)
+    cluster.register_table(ITEMS)
+    cluster.load_record("items", "a", {"stock": 10})
+    return cluster
+
+
+class TestChaosController:
+    def test_events_fire_at_their_times(self):
+        cluster = make_cluster()
+        schedule = (
+            FaultSchedule("s")
+            .fail_dc(100.0, "us-east")
+            .partition_pair(200.0, "us-west", "eu-west")
+            .recover_dc(300.0, "us-east")
+            .heal_pair(400.0, "us-west", "eu-west")
+        )
+        controller = ChaosController(cluster, schedule)
+        controller.install()
+        cluster.sim.run(until=150.0)
+        assert cluster.network.is_failed("us-east")
+        cluster.sim.run(until=250.0)
+        assert cluster.network.active_faults()["partitions"] == [
+            ("eu-west", "us-west")
+        ]
+        cluster.sim.run(until=500.0)
+        assert cluster.network.active_faults() == {
+            "failed_dcs": [],
+            "failed_nodes": [],
+            "partitions": [],
+            "groups": None,
+            "degraded_links": [],
+            "drop_rate": 0.0,
+        }
+        assert [e["event"] for e in controller.log] == [
+            "dc-failed",
+            "partitioned",
+            "dc-recovered",
+            "partition-healed",
+        ]
+
+    def test_install_twice_rejected(self):
+        cluster = make_cluster()
+        controller = ChaosController(cluster, FaultSchedule("s"))
+        controller.install()
+        with pytest.raises(RuntimeError):
+            controller.install()
+
+    def test_crash_master_fails_the_records_master_node(self):
+        cluster = make_cluster()
+        from repro.core.options import RecordId
+
+        master_dc = cluster.placement.master_dc(RecordId("items", "a"))
+        master_node = cluster.placement.master_node(RecordId("items", "a"))
+        schedule = (
+            FaultSchedule("s").crash_master(50.0, dc=master_dc).restore_masters(150.0)
+        )
+        controller = ChaosController(
+            cluster, schedule, workload_source=lambda: ("items", ["a"])
+        )
+        controller.install()
+        cluster.sim.run(until=100.0)
+        assert cluster.network.is_node_failed(master_node)
+        cluster.sim.run(until=200.0)
+        assert not cluster.network.is_node_failed(master_node)
+
+    def test_crash_master_without_target_logs_skip(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule("s").crash_master(50.0, dc="us-east")
+        controller = ChaosController(cluster, schedule)  # no workload source
+        controller.install()
+        cluster.sim.run(until=100.0)
+        assert controller.log[-1]["event"] == "crash-master-skipped"
+
+    def test_coordinator_crash_recovers_to_one_outcome(self):
+        cluster = make_cluster(seed=11)
+        schedule = FaultSchedule("s").crash_coordinator(
+            100.0, recover_after_ms=3_000.0
+        )
+        controller = ChaosController(cluster, schedule)
+        controller.install()
+        cluster.sim.run(until=60_000.0)
+        assert len(controller.recovery_outcomes) == 2  # both racing agents
+        verdicts = {o["committed"] for o in controller.recovery_outcomes}
+        assert len(verdicts) == 1
+        assert controller.probe_problems() == []
+        # The probe record lives in its own table, untouched by workloads.
+        snapshot = cluster.read_committed(CHAOS_TABLE, "probe:000")
+        expected = {"value": 1} if verdicts.pop() else {"value": 0}
+        assert snapshot.value == expected
+
+    def test_coordinator_crash_skipped_for_non_mdcc(self):
+        cluster = build_cluster("2pc", seed=3)
+        schedule = FaultSchedule("s").crash_coordinator(100.0)
+        controller = ChaosController(cluster, schedule)
+        controller.install()
+        cluster.sim.run(until=200.0)
+        assert controller.log[-1]["event"] == "coordinator-crash-skipped"
+        assert controller.recovery_outcomes == []
+
+
+class TestRunScenario:
+    def test_scenario_result_shape_and_determinism(self):
+        schedule = named_schedule("dc-outage", start_ms=1_000, duration_ms=8_000)
+        kwargs = dict(
+            variant="mdcc",
+            num_clients=4,
+            num_items=60,
+            warmup_ms=1_000,
+            measure_ms=8_000,
+            seed=5,
+            bucket_ms=2_000,
+        )
+        a = run_scenario(schedule, **kwargs)
+        schedule_b = named_schedule("dc-outage", start_ms=1_000, duration_ms=8_000)
+        b = run_scenario(schedule_b, **kwargs)
+        assert a.as_dict() == b.as_dict()
+        assert len(a.timeline) == 4  # 8s / 2s buckets, empties included
+        assert a.commits > 0
+        assert a.clean
+
+    def test_scenario_uses_schedule_hints(self):
+        schedule = named_schedule(
+            "follow-the-sun-outage", start_ms=1_000, duration_ms=8_000
+        )
+        result = run_scenario(
+            schedule,
+            variant="mdcc",
+            num_clients=5,
+            num_items=60,
+            warmup_ms=1_000,
+            measure_ms=8_000,
+            seed=5,
+            phase_ms=2_000,
+        )
+        assert result.workload == "geoshift"
+        assert result.extra["master_policy"] == "adaptive"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(FaultSchedule("s"), workload="crud")

@@ -158,3 +158,30 @@ class TestTimeSeries:
         pts = series.points
         pts.append((9.0, 9.0))
         assert len(series.points) == 1
+
+
+class TestBucketCounts:
+    def test_empty_buckets_are_reported_with_zero(self):
+        series = TimeSeries()
+        series.add(100.0, 5.0)
+        series.add(2_500.0, 7.0)
+        counts = series.bucket_counts(1_000.0, 0.0, 4_000.0)
+        assert counts == [(0.0, 1), (1_000.0, 0), (2_000.0, 1), (3_000.0, 0)]
+
+    def test_window_bounds_are_half_open(self):
+        series = TimeSeries()
+        series.add(0.0, 1.0)      # inclusive start
+        series.add(2_000.0, 1.0)  # exclusive end
+        counts = series.bucket_counts(1_000.0, 0.0, 2_000.0)
+        assert counts == [(0.0, 1), (1_000.0, 0)]
+
+    def test_buckets_are_relative_to_window_start(self):
+        series = TimeSeries()
+        series.add(5_400.0, 1.0)
+        counts = series.bucket_counts(1_000.0, 5_000.0, 7_000.0)
+        assert counts == [(5_000.0, 1), (6_000.0, 0)]
+
+    def test_invalid_bucket_width_rejected(self):
+        series = TimeSeries()
+        with pytest.raises(ValueError):
+            series.bucket_counts(0.0, 0.0, 1_000.0)

@@ -7,6 +7,7 @@ from repro.sim.network import (
     DEFAULT_RTT_MATRIX,
     EC2_REGIONS,
     LatencyModel,
+    LinkPolicy,
     Network,
 )
 from repro.sim.node import Node
@@ -216,6 +217,238 @@ class TestFailureInjection:
         sim, network = build()
         with pytest.raises(SimulationError):
             network.set_drop_rate(1.5)
+
+    def test_drop_reasons_distinguish_failure_from_partition(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        Recorder(sim, network, "b", "us-east")
+        Recorder(sim, network, "c", "eu-west")
+        network.fail_datacenter("us-east")
+        network.partition("us-west", "eu-west")
+        a.send("b", "x")
+        a.send("c", "y")
+        a.send("ghost", "z")
+        sim.run()
+        assert network.stats.dropped_by_reason == {
+            "dc-failure": 1,
+            "partition": 1,
+            "unknown-destination": 1,
+        }
+        assert network.stats.messages_dropped == 3
+
+    def test_fail_datacenter_idempotent_with_inflight_timer(self):
+        """A scheduled (duplicate) failure racing recovery must not wedge
+        state or double-count: fail/fail/recover leaves the DC healthy."""
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        events = []
+        network.subscribe(lambda now, event, details: events.append(event))
+        network.fail_datacenter("us-east")
+        sim.schedule(10.0, network.fail_datacenter, "us-east")  # stale timer
+        sim.schedule(20.0, network.recover_datacenter, "us-east")
+        sim.run()
+        a.send("b", "after")
+        sim.run()
+        assert len(b.received) == 1
+        # The duplicate failure produced no transition event.
+        assert events == ["dc-failed", "dc-recovered"]
+
+    def test_recover_unfailed_dc_is_noop(self):
+        sim, network = build()
+        events = []
+        network.subscribe(lambda now, event, details: events.append(event))
+        network.recover_datacenter("us-east")
+        assert events == []
+
+
+class TestNodeFailure:
+    def test_failed_node_traffic_drops_both_ways(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-west")
+        network.fail_node("b")
+        a.send("b", "x")
+        b.send("a", "y")
+        sim.run()
+        assert a.received == [] and b.received == []
+        assert network.stats.dropped_by_reason["node-failure"] == 2
+
+    def test_other_nodes_in_same_dc_unaffected(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        Recorder(sim, network, "b", "us-east")
+        c = Recorder(sim, network, "c", "us-east")
+        network.fail_node("b")
+        a.send("c", "ok")
+        sim.run()
+        assert len(c.received) == 1
+
+    def test_in_flight_message_lost_when_node_fails(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        a.send("b", "in-flight")
+        sim.schedule(10.0, network.fail_node, "b")
+        sim.run()
+        assert b.received == []
+        network.recover_node("b")
+        a.send("b", "back")
+        sim.run()
+        assert len(b.received) == 1
+
+
+class TestPartitionGroups:
+    def test_nway_split_blocks_cross_group_traffic(self):
+        sim, network = build()
+        nodes = {
+            dc: Recorder(sim, network, f"n-{dc}", dc) for dc in EC2_REGIONS
+        }
+        network.partition_groups(
+            [["us-west", "us-east"], ["eu-west", "ap-southeast", "ap-northeast"]]
+        )
+        nodes["us-west"].send("n-us-east", "same-group")
+        nodes["us-west"].send("n-eu-west", "cross-group")
+        nodes["eu-west"].send("n-ap-southeast", "same-group-2")
+        sim.run()
+        assert len(nodes["us-east"].received) == 1
+        assert nodes["eu-west"].received == []
+        assert len(nodes["ap-southeast"].received) == 1
+        assert network.stats.dropped_by_reason["partition"] == 1
+
+    def test_unlisted_dcs_form_remainder_group(self):
+        sim, network = build()
+        nodes = {
+            dc: Recorder(sim, network, f"n-{dc}", dc) for dc in EC2_REGIONS
+        }
+        network.partition_groups([["eu-west"]])
+        nodes["us-west"].send("n-us-east", "remainder-internal")
+        nodes["us-west"].send("n-eu-west", "to-isolated")
+        sim.run()
+        assert len(nodes["us-east"].received) == 1
+        assert nodes["eu-west"].received == []
+
+    def test_clear_restores_traffic(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "eu-west")
+        network.partition_groups([["us-west"], ["eu-west"]])
+        network.clear_partition_groups()
+        a.send("b", "x")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_duplicate_dc_across_groups_rejected(self):
+        sim, network = build()
+        with pytest.raises(SimulationError):
+            network.partition_groups([["us-west"], ["us-west", "eu-west"]])
+
+    def test_intra_dc_traffic_survives_any_split(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-west")
+        network.partition_groups([["us-west"], ["us-east"]])
+        a.send("b", "local")
+        sim.run()
+        assert len(b.received) == 1
+
+
+class TestLinkPolicy:
+    def test_extra_latency_applies_both_directions(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        network.set_link_policy(
+            "us-east", "us-west", LinkPolicy(extra_latency_ms=100.0)
+        )
+        a.send("b", "slow")
+        sim.run()
+        assert b.received[0][0] == pytest.approx(140.5)  # 40.5 base + 100
+
+    def test_full_drop_rate_severs_link(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east")
+        network.set_link_policy("us-west", "us-east", LinkPolicy(drop_rate=1.0))
+        for _ in range(5):
+            a.send("b", "x")
+        sim.run()
+        assert b.received == []
+        assert network.stats.dropped_by_reason["link-policy"] == 5
+        network.clear_link_policy("us-west", "us-east")
+        a.send("b", "back")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partial_loss_is_deterministic_per_seed(self):
+        def run_once():
+            sim, network = build(seed=5)
+            a = Recorder(sim, network, "a", "us-west")
+            b = Recorder(sim, network, "b", "us-east")
+            network.set_link_policy(
+                "us-west", "us-east", LinkPolicy(drop_rate=0.5)
+            )
+            for _ in range(100):
+                a.send("b", "maybe")
+            sim.run()
+            return len(b.received)
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert 0 < first < 100
+
+    def test_policy_leaves_other_links_clean(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        c = Recorder(sim, network, "c", "eu-west")
+        network.set_link_policy("us-west", "us-east", LinkPolicy(drop_rate=1.0))
+        a.send("c", "fine")
+        sim.run()
+        assert len(c.received) == 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkPolicy(drop_rate=1.5)
+        with pytest.raises(SimulationError):
+            LinkPolicy(extra_latency_ms=-1.0)
+
+
+class TestEventHookAndHealAll:
+    def test_subscribers_see_every_effective_transition(self):
+        sim, network = build()
+        events = []
+        network.subscribe(lambda now, event, details: events.append((event, details)))
+        network.fail_datacenter("us-east")
+        network.partition("us-west", "eu-west")
+        network.set_link_policy("us-west", "us-east", LinkPolicy(drop_rate=0.5))
+        network.partition_groups([["eu-west"]])
+        network.fail_node("some-node")
+        assert [e for e, _ in events] == [
+            "dc-failed",
+            "partitioned",
+            "link-degraded",
+            "partition-groups",
+            "node-failed",
+        ]
+        assert events[1][1]["pair"] == ("eu-west", "us-west")
+
+    def test_heal_all_lifts_every_fault_and_notifies(self):
+        sim, network = build()
+        network.fail_datacenter("us-east")
+        network.fail_node("n1")
+        network.partition("us-west", "eu-west")
+        network.partition_groups([["eu-west"]])
+        network.set_link_policy("us-west", "us-east", LinkPolicy(drop_rate=1.0))
+        network.set_drop_rate(0.2)
+        network.heal_all()
+        assert network.active_faults() == {
+            "failed_dcs": [],
+            "failed_nodes": [],
+            "partitions": [],
+            "groups": None,
+            "degraded_links": [],
+            "drop_rate": 0.0,
+        }
 
 
 class TestNodeDispatch:
