@@ -18,8 +18,6 @@ quiet periods (:mod:`repro.core.fastpolicy`).  Expectations:
   and the adaptive run stays on the fast path for most transactions.
 """
 
-import pytest
-
 from repro.core.config import MDCCConfig
 from repro.bench.harness import run_micro
 from repro.bench.reporting import format_table, save_results

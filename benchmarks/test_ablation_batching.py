@@ -14,8 +14,6 @@ messages.  This ablation measures that trade on the micro-benchmark:
 * all consistency audits still pass.
 """
 
-import pytest
-
 from repro.core.config import MDCCConfig
 from repro.bench.harness import run_micro
 from repro.bench.reporting import format_table, save_results

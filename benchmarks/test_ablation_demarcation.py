@@ -14,8 +14,6 @@ slack); with plain escrow some rounds over-commit and drive every replica
 negative.
 """
 
-import pytest
-
 from repro.core.config import MDCCConfig
 from repro.db.cluster import build_cluster
 from repro.storage.schema import Constraint, TableSchema

@@ -11,8 +11,6 @@ still contended and pays repeated collision resolutions; large γ parks
 hot records in (stable, slower) master-routed mode longer than needed.
 """
 
-import pytest
-
 from repro.core.config import MDCCConfig, ProtocolVariant
 from repro.bench.harness import run_micro
 from repro.bench.reporting import format_table, save_results

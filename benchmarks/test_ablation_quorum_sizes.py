@@ -8,9 +8,6 @@ failure tolerance; the latency ordering across N is a direct property of
 the RTT matrix.
 """
 
-import pytest
-
-from repro.bench.harness import run_micro
 from repro.bench.reporting import format_table, save_results
 from repro.paxos.quorum import QuorumSpec
 from repro.sim.network import EC2_REGIONS

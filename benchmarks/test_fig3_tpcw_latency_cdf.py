@@ -16,8 +16,6 @@ The headline claims this reproduces:
 Scaled-down run: 50 clients, 2,000 items, 60 simulated seconds.
 """
 
-import pytest
-
 from repro.bench.harness import run_tpcw
 from repro.bench.reporting import cdf_table, format_table, save_results, shape_check
 

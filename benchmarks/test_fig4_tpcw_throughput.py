@@ -10,8 +10,6 @@ Scaled-down scales: (12, 480 items), (25, 1,000), (50, 2,000) — same
 clients-per-item ratio, 30 simulated seconds measured per point.
 """
 
-import pytest
-
 from repro.bench.harness import run_tpcw
 from repro.bench.reporting import format_table, save_results
 

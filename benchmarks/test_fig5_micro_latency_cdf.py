@@ -12,8 +12,6 @@ five data centers.
 Scaled-down run: 40 clients, 2,000 items, 45 simulated seconds.
 """
 
-import pytest
-
 from repro.bench.harness import run_micro
 from repro.bench.reporting import cdf_table, format_table, save_results, shape_check
 

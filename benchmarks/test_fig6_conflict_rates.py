@@ -23,8 +23,6 @@ this the most event-heavy experiment in the suite; the window is kept
 short accordingly.)
 """
 
-import pytest
-
 from repro.bench.harness import run_micro
 from repro.bench.reporting import format_table, save_results
 

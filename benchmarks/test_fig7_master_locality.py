@@ -21,8 +21,6 @@ replays the identical latency distribution.  That is the paper's "MDCC
 still maintains the same profile" taken to its deterministic limit.
 """
 
-import pytest
-
 from repro.bench.harness import run_micro
 from repro.bench.reporting import format_table, save_results
 

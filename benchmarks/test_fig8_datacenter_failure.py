@@ -20,8 +20,6 @@ and cannot drift apart.  Unlike the chaos suite's ``dc-outage`` schedule,
 the paper's scenario never recovers the data center.
 """
 
-import pytest
-
 from repro.bench.harness import run_scenario
 from repro.bench.reporting import format_table, save_results
 from repro.faults import FaultSchedule

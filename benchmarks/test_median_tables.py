@@ -12,8 +12,6 @@ reproduction asserts the *ratios* between protocols, which are properties
 of the protocols' round-trip structure, and prints both for comparison.
 """
 
-import pytest
-
 from repro.bench.harness import run_micro, run_tpcw
 from repro.bench.reporting import format_table, save_results
 

@@ -22,8 +22,6 @@ Expected shape (deterministic under the fixed seed):
   no constraint violations, replicas converge).
 """
 
-import pytest
-
 from repro.bench.harness import run_geoshift
 from repro.bench.reporting import format_table, save_results
 from repro.placement.policy import MigrationPolicy

@@ -366,6 +366,7 @@ class ScenarioResult:
             "dropped_by_reason": dict(sorted(self.dropped_by_reason.items())),
             "migrations": self.extra.get("migrations", 0),
             "master_policy": self.extra.get("master_policy", "hash"),
+            "membership": self.extra.get("membership"),
         }
 
 
@@ -390,6 +391,8 @@ def run_scenario(
     bucket_ms: float = 5_000.0,
     phase_ms: float = 15_000.0,
     audit: bool = True,
+    datacenters: Optional[Sequence[str]] = None,
+    elastic: bool = False,
 ) -> ScenarioResult:
     """Run ``workload`` on ``variant`` while ``schedule``'s faults fire.
 
@@ -405,6 +408,10 @@ def run_scenario(
        replica convergence, schema constraints, dangling-probe verdicts.
 
     ``workload``/``master_policy`` default to the schedule's hints.
+    ``datacenters`` overrides the paper's five-region deployment (e.g. a
+    3-DC cluster for elastic-membership scenarios); ``elastic`` builds
+    the cluster reconfigurable and is enabled automatically when the
+    schedule contains membership events (``dc-replace``).
     """
     workload = workload or schedule.workload
     if workload not in _SCENARIO_TABLES:
@@ -414,13 +421,17 @@ def run_scenario(
         )
     master_policy = master_policy or schedule.master_policy or "hash"
     parts = 1 if variant == "megastore" else partitions_per_table
-    cluster = build_cluster(
-        variant,
+    elastic = elastic or schedule.needs_reconfig
+    build_kwargs = dict(
         seed=seed,
         partitions_per_table=parts,
         config=config,
         master_policy=master_policy,
+        elastic=elastic,
     )
+    if datacenters is not None:
+        build_kwargs["datacenters"] = tuple(datacenters)
+    cluster = build_cluster(variant, **build_kwargs)
     if workload == "tpcw":
         bench = TPCWBenchmark(
             num_items=num_items, min_stock=min_stock, max_stock=max_stock
@@ -508,6 +519,14 @@ def run_scenario(
         dropped_by_reason=dict(cluster.network.stats.dropped_by_reason),
     )
     result.extra.update(_placement_extra(cluster))
+    if cluster.membership is not None:
+        membership = cluster.membership.as_dict()
+        membership["quorums"] = cluster.placement.quorums().as_dict()
+        membership["reconfig_events"] = list(cluster.reconfig.log)
+        membership["stale_epoch_dropped"] = cluster.counters.get(
+            "reconfig.stale_epoch_dropped"
+        )
+        result.extra["membership"] = membership
     return result
 
 

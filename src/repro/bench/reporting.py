@@ -9,7 +9,7 @@ orderings and ratios, never absolute milliseconds.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "cdf_table",

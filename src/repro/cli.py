@@ -9,6 +9,7 @@ script::
     python -m repro run --protocol mdcc --fail-dc us-east --fail-at-s 30
     python -m repro run --protocol multi --workload geoshift --master-policy adaptive
     python -m repro chaos dc-outage --variant multi --seed 7
+    python -m repro reconfig --datacenters us-west,us-east,eu-west --seed 7
     python -m repro list
 
 ``run`` executes one experiment and prints a summary (or ``--json``);
@@ -16,8 +17,11 @@ script::
 the Figure-3-style comparison table; ``chaos`` replays a named fault
 schedule (:mod:`repro.faults`) against one MDCC variant and prints the
 scenario verdict as JSON — deterministic for a given seed, so two runs
-diff empty; ``list`` enumerates the available protocols, workloads,
-master policies and chaos schedules.
+diff empty; ``reconfig`` replays the elastic-membership disaster-replace
+lifecycle (outage → decommission → snapshot-bootstrapped replacement
+join) and reports the membership history alongside the verdict;
+``list`` enumerates the available protocols, workloads, master policies
+and chaos schedules.
 """
 
 from __future__ import annotations
@@ -77,6 +81,7 @@ _CHAOS_NOTES = {
     "flaky-wan": "degraded links: latency, jitter, loss, a flapping route",
     "coordinator-crash": "dangling transactions + a master crash/re-election",
     "follow-the-sun-outage": "geoshift + adaptive placement; hotspot DC dies",
+    "dc-replace": "elastic membership: outage, decommission, replacement join",
 }
 
 
@@ -102,6 +107,23 @@ def _master_policy(value: str) -> str:
     raise argparse.ArgumentTypeError(
         f"unknown master policy {value!r}; choose hash, adaptive or fixed:<dc>"
     )
+
+
+def _datacenter_list(value: str) -> tuple:
+    from repro.sim.network import EC2_REGIONS
+
+    names = tuple(part.strip() for part in value.split(",") if part.strip())
+    if len(names) < 2:
+        raise argparse.ArgumentTypeError("need at least two data centers")
+    if len(set(names)) != len(names):
+        raise argparse.ArgumentTypeError("duplicate data center")
+    unknown = [name for name in names if name not in EC2_REGIONS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown data center(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(EC2_REGIONS)}"
+        )
+    return names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +188,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the schedule's master-policy hint",
     )
     chaos.add_argument(
+        "--events",
+        action="store_true",
+        help="include the full chaos event log in the output",
+    )
+
+    reconfig = sub.add_parser(
+        "reconfig",
+        help="replay the elastic-membership dc-replace lifecycle",
+        description="Builds an elastic cluster, runs a workload while one "
+        "data center fails, is decommissioned (epoch-fenced quorum "
+        "shrink + mastership evacuation) and is replaced by a "
+        "snapshot-bootstrapped join, then prints the scenario verdict "
+        "plus the membership history as JSON.  Deterministic for a "
+        "given --seed; exits 1 on any invariant violation or if the "
+        "replacement was not admitted.",
+    )
+    reconfig.add_argument(
+        "--variant",
+        choices=("mdcc", "fast", "multi"),
+        default="mdcc",
+        help="MDCC protocol variant under test",
+    )
+    reconfig.add_argument(
+        "--datacenters",
+        type=_datacenter_list,
+        default=None,
+        help="comma-separated initial membership (default: all five regions)",
+    )
+    reconfig.add_argument(
+        "--victim", default="us-east", help="data center that fails and leaves"
+    )
+    reconfig.add_argument(
+        "--replacement",
+        default="us-east-2",
+        help="name of the joining replacement DC (clones the victim's links)",
+    )
+    reconfig.add_argument(
+        "--donor", default="us-west", help="DC that streams the bootstrap snapshot"
+    )
+    reconfig.add_argument("--workload", choices=WORKLOADS, default=None)
+    reconfig.add_argument("--clients", type=int, default=20)
+    reconfig.add_argument("--items", type=int, default=300)
+    reconfig.add_argument("--warmup-s", type=float, default=5.0)
+    reconfig.add_argument("--measure-s", type=float, default=60.0)
+    reconfig.add_argument("--seed", type=int, default=7)
+    reconfig.add_argument(
+        "--bucket-s",
+        type=float,
+        default=5.0,
+        help="availability-timeline bucket width in seconds",
+    )
+    reconfig.add_argument(
         "--events",
         action="store_true",
         help="include the full chaos event log in the output",
@@ -337,6 +411,66 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _run_reconfig(args: argparse.Namespace) -> int:
+    from repro.sim.network import EC2_REGIONS
+
+    datacenters = args.datacenters or EC2_REGIONS
+    if args.victim not in datacenters:
+        raise SystemExit(f"victim {args.victim!r} is not in the initial membership")
+    if args.victim == datacenters[0]:
+        # The reconfig control plane (and its catch-up agent) lives in the
+        # first data center; failing that DC would stall the membership
+        # operations themselves and quietly invalidate the scenario.
+        raise SystemExit(
+            f"victim {args.victim!r} hosts the reconfig control plane (the "
+            "first listed data center); pick another victim or reorder "
+            "--datacenters"
+        )
+    if args.donor not in datacenters or args.donor == args.victim:
+        raise SystemExit("--donor must be a surviving member of the cluster")
+    if args.replacement in datacenters:
+        raise SystemExit(f"replacement {args.replacement!r} is already a member")
+    schedule = named_schedule(
+        "dc-replace",
+        start_ms=args.warmup_s * 1_000.0,
+        duration_ms=args.measure_s * 1_000.0,
+        victim=args.victim,
+        replacement=args.replacement,
+        donor=args.donor,
+    )
+    result = run_scenario(
+        schedule,
+        workload=args.workload,
+        variant=args.variant,
+        num_clients=args.clients,
+        num_items=args.items,
+        warmup_ms=args.warmup_s * 1_000.0,
+        measure_ms=args.measure_s * 1_000.0,
+        seed=args.seed,
+        bucket_ms=args.bucket_s * 1_000.0,
+        datacenters=datacenters,
+        elastic=True,
+    )
+    payload = result.as_dict()
+    payload["chaos_event_count"] = len(payload["chaos_events"])
+    if not args.events:
+        del payload["chaos_events"]
+    membership = payload["membership"] or {}
+    # The replacement must be a member AND have been admitted inside the
+    # scenario window — an admission that only lands after the
+    # post-scenario heal means the join never actually ran under fault.
+    window_ms = (args.warmup_s + args.measure_s) * 1_000.0
+    replaced = args.replacement in membership.get("datacenters", []) and any(
+        entry["event"] == "admitted"
+        and entry["dc"] == args.replacement
+        and entry["t_ms"] <= window_ms
+        for entry in membership.get("history", [])
+    )
+    payload["replacement_admitted"] = replaced
+    print(json.dumps(payload, indent=2))
+    return 0 if result.clean and replaced else 1
+
+
 def _run_list(as_json: bool) -> int:
     catalogue = {
         "protocols": _PROTOCOL_NOTES,
@@ -380,6 +514,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_list(args.json)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "reconfig":
+        return _run_reconfig(args)
     if args.command == "run":
         result = _run_one(args.protocol, args)
         if args.json:

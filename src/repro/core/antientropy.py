@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MDCCConfig
 from repro.core.messages import CatchUp, RepairProbe, RepairReply, Visibility
@@ -51,6 +51,10 @@ class SweepReport:
     replicas_repaired: int = 0
     records_with_lag: int = 0
     unreachable_replies: int = 0  # replicas that never answered the probe
+    #: node ids that never answered at least one probe — lets callers
+    #: (e.g. the reconfig manager's admission gate) tell a dark *joiner*
+    #: from some other unreachable replica.
+    unreachable_nodes: set = field(default_factory=set)
     #: visibilities re-driven for options executed elsewhere but stuck
     #: pending at some replica (the dropped-visibility case).
     visibilities_redriven: int = 0
@@ -63,6 +67,7 @@ class SweepReport:
         self.replicas_repaired += other.replicas_repaired
         self.records_with_lag += other.records_with_lag
         self.unreachable_replies += other.unreachable_replies
+        self.unreachable_nodes |= other.unreachable_nodes
         self.visibilities_redriven += other.visibilities_redriven
         self.recoveries_triggered += other.recoveries_triggered
 
@@ -71,6 +76,7 @@ class SweepReport:
 class _Probe:
     record: RecordId
     expected: int
+    replicas: Tuple[str, ...] = ()
     replies: Dict[str, RepairReply] = field(default_factory=dict)
     done: bool = False
 
@@ -148,8 +154,13 @@ class AntiEntropyAgent(Node):
 
     def _sweep_record(self, record: RecordId) -> Future:
         request_id = next(self._request_seq)
-        replicas = self.placement.replicas(record)
-        probe = _Probe(record=record, expected=len(replicas))
+        # Repair scope: joining (not-yet-admitted) replicas are swept too —
+        # this is how a bootstrapping DC catches up through writes that
+        # landed after its snapshot cut, before it enters any quorum.
+        replicas = self.placement.replicas_for_repair(record)
+        probe = _Probe(
+            record=record, expected=len(replicas), replicas=tuple(replicas)
+        )
         future = self.sim.future()
         self._probes[request_id] = probe
         self._probe_futures[request_id] = future
@@ -174,6 +185,7 @@ class AntiEntropyAgent(Node):
         probe.done = True
         report = SweepReport(records_swept=1)
         report.unreachable_replies = probe.expected - len(probe.replies)
+        report.unreachable_nodes = set(probe.replicas) - set(probe.replies)
         if probe.replies:
             freshest = max(probe.replies.values(), key=lambda r: r.version)
             behind = [

@@ -18,7 +18,7 @@ replication factor).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.paxos.quorum import QuorumSpec

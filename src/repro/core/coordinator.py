@@ -148,6 +148,9 @@ class _TxState:
     future: Future
     started_at: float
     tallies: Dict[str, Dict[str, OptionStatus]] = field(default_factory=dict)
+    #: membership epoch each option's fast tally was collected under; a
+    #: bump wipes the tally so no vote straddles two configurations.
+    tally_epochs: Dict[str, int] = field(default_factory=dict)
     learned: Dict[str, OptionStatus] = field(default_factory=dict)
     learned_via_master: bool = False
     recovery_round: int = 0
@@ -171,7 +174,6 @@ class MDCCCoordinator(Node):
         super().__init__(sim, network, node_id, dc)
         self.placement = placement
         self.config = config
-        self.spec = config.quorums
         self.counters = counters if counters is not None else CounterSet()
         self._transactions: Dict[str, _TxState] = {}
         self._txid_seq = itertools.count(1)
@@ -181,6 +183,18 @@ class MDCCCoordinator(Node):
         #: visibility batching (§7): destination -> buffered visibilities.
         self._visibility_buffer: Dict[str, List[Visibility]] = {}
         self._visibility_flush_scheduled = False
+
+    @property
+    def spec(self):
+        """Quorum sizes under the current membership epoch."""
+        return self.placement.quorum_spec(self.config)
+
+    def _home_dc(self) -> str:
+        """This node's DC, or the first active DC once its own has been
+        decommissioned (clients survive their data center's retirement —
+        reads and recovery fail over to the remaining members)."""
+        datacenters = self.placement.datacenters
+        return self.dc if self.dc in datacenters else datacenters[0]
 
     # ------------------------------------------------------------------
     # Reads (local replica by default; see repro.db.reads for strategies)
@@ -195,7 +209,7 @@ class MDCCCoordinator(Node):
         request = ReadRequest(table=table, key=key, request_id=request_id)
         future = self.sim.future()
         self._pending_reads[request_id] = (future, request, 0)
-        self._send_read(request, dc or self.dc)
+        self._send_read(request, dc or self._home_dc())
         return future
 
     def _send_read(self, request: ReadRequest, dc: str) -> None:
@@ -210,7 +224,12 @@ class MDCCCoordinator(Node):
             return
         future, request, attempt = entry
         datacenters = self.placement.datacenters
-        next_dc = datacenters[(datacenters.index(tried_dc) + 1) % len(datacenters)]
+        if tried_dc in datacenters:
+            next_dc = datacenters[(datacenters.index(tried_dc) + 1) % len(datacenters)]
+        else:
+            # The DC we tried was decommissioned while the read was in
+            # flight; restart the rotation from the current membership.
+            next_dc = datacenters[attempt % len(datacenters)]
         self._pending_reads[request_id] = (future, request, attempt + 1)
         if attempt + 1 < 2 * len(datacenters):
             self._send_read(request, next_dc)
@@ -276,7 +295,9 @@ class MDCCCoordinator(Node):
     def _propose(self, tx: _TxState, option: Option) -> None:
         if self.config.fast_ballots_enabled:
             replicas = self.placement.replicas(option.record)
-            message = ProposeFast(option=option, reply_to=self.node_id)
+            message = ProposeFast(
+                option=option, reply_to=self.node_id, epoch=self.placement.epoch
+            )
             self.broadcast(replicas, message)
             self.counters.increment("coordinator.fast_proposals")
         else:
@@ -297,7 +318,19 @@ class MDCCCoordinator(Node):
         tx = self._transactions.get(message.txid)
         if tx is None or tx.finished or message.option_id in tx.learned:
             return
+        epoch = self.placement.epoch
+        if message.epoch < epoch:
+            # A vote cast under the previous configuration: dropping it is
+            # what keeps a fast quorum from straddling a resize.
+            self.counters.increment("reconfig.stale_epoch_dropped")
+            return
         tally = tx.tallies.setdefault(message.option_id, {})
+        if tx.tally_epochs.get(message.option_id, epoch) != epoch:
+            # Votes gathered before the bump are void; start the tally
+            # over under the new epoch (stragglers re-fill it, or the
+            # learn timeout escalates to the master).
+            tally.clear()
+        tx.tally_epochs[message.option_id] = epoch
         tally[src_id] = message.status
         accepted = sum(1 for s in tally.values() if s is OptionStatus.ACCEPTED)
         rejected = sum(1 for s in tally.values() if s is OptionStatus.REJECTED)
@@ -378,7 +411,10 @@ class MDCCCoordinator(Node):
         )
         for option in tx.options.values():
             visibility = Visibility(option=option, committed=committed)
-            for replica in self.placement.replicas(option.record):
+            # Repair scope, not quorum scope: joining replicas receive
+            # visibilities too, so a bootstrapping DC tracks live commits
+            # instead of deferring everything to the catch-up sweeps.
+            for replica in self.placement.replicas_for_repair(option.record):
                 self._send_visibility(replica, visibility)
         outcome = TransactionOutcome(
             txid=tx.txid,

@@ -19,7 +19,7 @@ nodes ("In our implementation, we place masters on storage nodes", §3.1.1)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.config import MDCCConfig
 from repro.core.messages import (
@@ -73,6 +73,9 @@ class _MasterRecordState:
     pending_post_grant: Optional[BallotRange] = None
     pending_new_base: Optional[Dict[str, float]] = None
     retries: int = 0
+    #: membership epoch the in-flight Phase-1/2 round was started under;
+    #: a bump mid-round restarts it so no vote straddles configurations.
+    round_epoch: int = 0
     #: placement manager to notify once a migration takeover decides.
     migration_notify: Optional[str] = None
 
@@ -88,9 +91,22 @@ class MasterRole:
     def __init__(self, node, config: MDCCConfig) -> None:
         self.node = node
         self.config = config
-        self.spec = config.quorums
         self.policy = make_policy(config)
         self._records: Dict[RecordId, _MasterRecordState] = {}
+
+    @property
+    def spec(self):
+        """Quorum sizes under the current membership epoch (via the node)."""
+        return self.node.spec
+
+    def _epoch(self) -> int:
+        return self.node.placement.epoch
+
+    def _fence_stale(self, message_epoch: int) -> bool:
+        if message_epoch < self._epoch():
+            self.node.counters.increment("reconfig.stale_epoch_dropped")
+            return True
+        return False
 
     def _state(self, record: RecordId) -> _MasterRecordState:
         if record not in self._records:
@@ -145,11 +161,20 @@ class MasterRole:
         ballot = Ballot(round=ms.round_counter, fast=False, proposer=self.node.node_id)
         ms.ballot = ballot
         ms.phase1_replies = {}
+        ms.round_epoch = self._epoch()
         version = self._local_version(record)
         grant = BallotRange(version, None, ballot)
         replicas = self.node.placement.replicas(record)
         for replica in replicas:
-            self.node.send(replica, MPhase1a(record=record, ballot=ballot, grant=grant))
+            self.node.send(
+                replica,
+                MPhase1a(
+                    record=record,
+                    ballot=ballot,
+                    grant=grant,
+                    epoch=ms.round_epoch,
+                ),
+            )
         self.node.set_timer(
             self.config.recovery_timeout_ms + self._stagger(ms.round_counter),
             self._phase1_timeout,
@@ -159,6 +184,10 @@ class MasterRole:
         self.node.counters.increment("master.phase1_started")
 
     def on_phase1b(self, message: MPhase1b, src_id: str) -> None:
+        if self._fence_stale(message.epoch):
+            # A promise from the old configuration must not count toward
+            # a quorum sized for the new one.
+            return
         ms = self._state(message.record)
         ms.replica_versions[src_id] = max(
             ms.replica_versions.get(src_id, 0), message.committed_version
@@ -166,6 +195,12 @@ class MasterRole:
         if message.promised > ms.highest_seen:
             ms.highest_seen = message.promised
         if ms.phase != "phase1" or message.ballot != ms.ballot:
+            return
+        if ms.round_epoch != self._epoch():
+            # Membership changed since this round started: restart it so
+            # the promise set is collected entirely under one epoch.
+            self.node.counters.increment("reconfig.epoch_round_restarts")
+            self._start_phase1(message.record)
             return
         if not message.granted:
             if self._abdicate_if_deposed(message.record, message.promised):
@@ -403,6 +438,7 @@ class MasterRole:
             if (
                 not self.config.fast_ballots_enabled
                 and not self.node.placement.is_adaptive
+                and not self.node.placement.is_elastic
             ):
                 # Multi variant: "a stable master can skip Phase 1"
                 # (§5.3.1).  Mastership is structurally unique (placement
@@ -411,7 +447,9 @@ class MasterRole:
                 # Under adaptive placement mastership is NOT structurally
                 # unique (it migrates), so every master must win a real
                 # Phase 1 — otherwise two phase-1-less masters could both
-                # assemble classic quorums for conflicting cstructs.
+                # assemble classic quorums for conflicting cstructs.  The
+                # same holds under elastic membership: an epoch bump
+                # re-hashes mastership wholesale.
                 self.establish_stable_mastership(record)
             else:
                 ms.recovery_reason = ms.recovery_reason or "route"
@@ -435,12 +473,14 @@ class MasterRole:
         ms.phase = "phase2"
         ms.phase2_replies = {}
         ms.phase2_cstruct = cstruct
+        ms.round_epoch = self._epoch()
         message = MPhase2a(
             record=record,
             ballot=ms.ballot,
             cstruct=cstruct,
             post_grant=ms.pending_post_grant,
             new_base=ms.pending_new_base,
+            epoch=ms.round_epoch,
         )
         for replica in self.node.placement.replicas(record):
             self.node.send(replica, message)
@@ -453,11 +493,20 @@ class MasterRole:
         self.node.counters.increment("master.phase2_started")
 
     def on_phase2b(self, message: MPhase2b, src_id: str) -> None:
+        if self._fence_stale(message.epoch):
+            return
         ms = self._state(message.record)
         ms.replica_versions[src_id] = max(
             ms.replica_versions.get(src_id, 0), message.committed_version
         )
         if ms.phase != "phase2" or message.ballot != ms.ballot:
+            return
+        if ms.round_epoch != self._epoch():
+            # The round's Phase2a predates the current configuration;
+            # re-establish mastership under the new epoch from Phase 1.
+            self.node.counters.increment("reconfig.epoch_round_restarts")
+            ms.established = False
+            self._start_phase1(message.record)
             return
         if not message.accepted:
             if message.promised is not None and self._abdicate_if_deposed(
@@ -628,18 +677,21 @@ class MasterRole:
         Without this check a deposed master would leapfrog the new
         master's ballot on every nack, and the two would duel for as long
         as stale in-flight proposals keep arriving.  Abdication applies
-        only when placement is adaptive AND the competing ballot belongs
-        to the node routing now points at — a nack from any *other*
-        contender (e.g. a failover race while the routed master is dark)
-        still leapfrogs, preserving liveness.
+        only when mastership can actually move — adaptive placement
+        migrates it per record, and an elastic membership epoch bump
+        re-hashes it wholesale — AND the competing ballot belongs to the
+        node routing now points at; a nack from any *other* contender
+        (e.g. a failover race while the routed master is dark) still
+        leapfrogs, preserving liveness.
 
         The queue is handed to the new master as ordinary ProposeClassic
         messages; its Phase-1 takeover already carried over any accepted
         options via the replicas' cstructs.
         """
-        if not self.node.placement.is_adaptive:
+        placement = self.node.placement
+        if not (placement.is_adaptive or placement.is_elastic):
             return False
-        new_master = self.node.placement.master_node(record)
+        new_master = placement.master_node(record)
         if new_master == self.node.node_id or promised.proposer != new_master:
             return False
         ms = self._state(record)

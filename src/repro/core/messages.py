@@ -4,6 +4,19 @@ Naming follows the paper's pseudocode: Propose, Phase1a/1b, Phase2a/2b,
 Visibility, StartRecovery (Algorithms 1-3).  Fast-path proposals go
 straight to the acceptors (ProposeFast); classic-path proposals go to the
 record's master (ProposeClassic).  All messages are immutable dataclasses.
+
+Epoch fencing (elastic membership): every message that creates or
+carries a *quorum vote* — ProposeFast/FastReply on the fast path,
+MPhase1a/1b and MPhase2a/2b on the classic path — is stamped with the
+sender's membership epoch.  Receivers drop messages from a stale epoch,
+so no vote cast under one data-center configuration can count toward a
+quorum tallied under another.  ``epoch`` defaults to 0, the permanent
+epoch of a static cluster, making the checks no-ops there.
+
+Visibility, CatchUp and repair traffic is deliberately *not* fenced:
+applying committed state is version-guarded and idempotent, hence safe
+at any epoch — and it is exactly how replicas that lived through a
+reconfiguration converge.
 """
 
 from __future__ import annotations
@@ -30,6 +43,9 @@ __all__ = [
     "ReadRequest",
     "RepairProbe",
     "RepairReply",
+    "SnapshotAck",
+    "SnapshotChunk",
+    "SnapshotRequest",
     "StartRecovery",
     "StatusReply",
     "StatusRequest",
@@ -47,6 +63,7 @@ class ProposeFast:
 
     option: Option
     reply_to: str  # learner node id (the coordinating app-server)
+    epoch: int = 0  # sender's membership epoch (fenced by the acceptor)
 
 
 @dataclass(frozen=True)
@@ -65,6 +82,7 @@ class FastReply:
     committed_version: int
     is_fast_era: bool
     master_hint: str
+    epoch: int = 0  # acceptor's membership epoch (fenced by the learner)
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +103,7 @@ class MPhase1a:
     record: RecordId
     ballot: Ballot
     grant: BallotRange
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -105,6 +124,7 @@ class MPhase1b:
     committed_value: Optional[Dict[str, object]]
     #: option ids folded into committed_value (for safe CatchUp relays).
     applied_ids: Tuple[str, ...] = ()
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,6 +142,7 @@ class MPhase2a:
     cstruct: CStruct
     post_grant: Optional[BallotRange] = None
     new_base: Optional[Dict[str, float]] = None
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,6 +161,7 @@ class MPhase2b:
     cstruct: Optional[CStruct]
     committed_version: int
     promised: Optional[Ballot] = None
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -267,6 +289,54 @@ class RepairReply:
     #: cstruct — a visibility this replica never received (e.g. dropped by
     #: a partition).  The agent re-drives or recovers them (§3.2.3).
     pending: Tuple["Option", ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Snapshot bootstrap (elastic membership joins)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Reconfig manager → donor replica: stream your store to ``target``.
+
+    The donor answers with a sequence of :class:`SnapshotChunk` messages
+    sent directly to the joining storage node, cut at a WAL checkpoint
+    (§3.2.3's "bulk-copy techniques to bring the data up-to-date more
+    efficiently without involving the Paxos protocol").
+    """
+
+    request_id: int
+    target: str    # the joining storage node the chunks go to
+    reply_to: str  # the reconfig manager awaiting the SnapshotAck
+
+
+@dataclass(frozen=True)
+class SnapshotChunk:
+    """Donor replica → joining replica: a slice of committed records.
+
+    ``records`` entries are ``(table, key, version, value_or_None,
+    applied_ids)`` tuples — exactly the CatchUp payload, batched.  The
+    final chunk (``last=True``) carries the donor's WAL checkpoint LSN:
+    everything at or below the cut is covered by the snapshot; writes
+    after it reach the joiner through the anti-entropy sweeps that gate
+    admission.
+    """
+
+    request_id: int
+    seq: int
+    records: Tuple[Tuple[str, str, int, Optional[Dict[str, object]], Tuple[str, ...]], ...]
+    last: bool
+    wal_cut: int   # donor WAL checkpoint LSN (meaningful on the last chunk)
+    reply_to: str  # manager to ack once the final chunk is adopted
+
+
+@dataclass(frozen=True)
+class SnapshotAck:
+    """Joining replica → reconfig manager: the stream has been adopted."""
+
+    request_id: int
+    node_id: str
+    records_adopted: int
+    wal_cut: int
 
 
 # ----------------------------------------------------------------------

@@ -79,13 +79,17 @@ class RecoveryAgent(Node):
         super().__init__(sim, network, node_id, dc)
         self.placement = placement
         self.config = config
-        self.spec = config.quorums
         self.counters = counters if counters is not None else CounterSet()
         self._request_seq = itertools.count(1)
         self._by_txid: Dict[str, _RecoveryState] = {}
         self._by_request: Dict[int, _RecoveryState] = {}
         #: retry rounds before declaring the quorum unreachable.
         self._max_retry_rounds = 100
+
+    @property
+    def spec(self):
+        """Quorum sizes under the current membership epoch."""
+        return self.placement.quorum_spec(self.config)
 
     # ------------------------------------------------------------------
     # API

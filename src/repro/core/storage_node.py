@@ -37,6 +37,9 @@ from repro.core.messages import (
     ReadRequest,
     RepairProbe,
     RepairReply,
+    SnapshotAck,
+    SnapshotChunk,
+    SnapshotRequest,
     StartRecovery,
     StatusReply,
     StatusRequest,
@@ -72,7 +75,6 @@ class MDCCStorageNode(Node):
         super().__init__(sim, network, node_id, dc)
         self.placement = placement
         self.config = config
-        self.spec = config.quorums
         self.counters = counters if counters is not None else CounterSet()
         self.store = RecordStore()
         self.wal = WriteAheadLog()
@@ -80,10 +82,33 @@ class MDCCStorageNode(Node):
         self._states: Dict[RecordId, RecordState] = {}
         #: all options ever seen, for status queries and recovery.
         self._option_log: Dict[str, Option] = {}
+        #: in-flight snapshot-bootstrap streams this (joining) node receives:
+        #: request_id -> {"seqs", "total", "adopted", "wal_cut", "reply_to"}.
+        self._bootstrap_streams: Dict[int, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     # State access
     # ------------------------------------------------------------------
+    @property
+    def spec(self):
+        """Quorum sizes under the current membership epoch.
+
+        Static clusters read the frozen config; elastic clusters derive
+        sizes from the membership directory so an admit/retire resizes
+        every quorum check instantly.
+        """
+        return self.placement.quorum_spec(self.config)
+
+    def _epoch(self) -> int:
+        return self.placement.epoch
+
+    def _fence_stale(self, message_epoch: int) -> bool:
+        """True (and counted) when a message predates the current epoch."""
+        if message_epoch < self._epoch():
+            self.counters.increment("reconfig.stale_epoch_dropped")
+            return True
+        return False
+
     def record_state(self, record: RecordId) -> RecordState:
         if record not in self._states:
             self._states[record] = RecordState(
@@ -92,7 +117,15 @@ class MDCCStorageNode(Node):
                 spec=self.spec,
                 demarcation=self.config.demarcation_enabled,
             )
-        return self._states[record]
+        state = self._states[record]
+        if self.placement.is_elastic:
+            # Quorum sizes feed the escrow/demarcation windows; keep the
+            # cached state on the current epoch's sizes.  quorums() is
+            # memoized, so this is an identity-equal no-op between bumps.
+            spec = self.spec
+            if state.spec is not spec:
+                state.spec = spec
+        return state
 
     def is_master_for(self, record: RecordId) -> bool:
         return self.placement.master_node(record) == self.node_id
@@ -101,6 +134,11 @@ class MDCCStorageNode(Node):
     # Fast path
     # ------------------------------------------------------------------
     def handle_propose_fast(self, message: ProposeFast, src_id: str) -> None:
+        if self._fence_stale(message.epoch):
+            # Proposed under an old configuration: accepting it would cast
+            # a vote that could complete a quorum of the wrong size.  The
+            # coordinator's learn timeout re-drives under the new epoch.
+            return
         option = message.option
         state = self.record_state(option.record)
         if not state.is_fast or not self.config.fast_ballots_enabled:
@@ -131,6 +169,7 @@ class MDCCStorageNode(Node):
                 committed_version=state.version,
                 is_fast_era=True,
                 master_hint=self.placement.master_node(option.record),
+                epoch=self._epoch(),
             ),
         )
 
@@ -138,6 +177,11 @@ class MDCCStorageNode(Node):
     # Classic path (acceptor side)
     # ------------------------------------------------------------------
     def handle_m_phase1a(self, message: MPhase1a, src_id: str) -> None:
+        if self._fence_stale(message.epoch):
+            # A promise is a vote: granting a stale-epoch Phase1a could
+            # establish a master over the old replica set.  The master's
+            # Phase-1 timeout restarts the round under the new epoch.
+            return
         state = self.record_state(message.record)
         granted = state.mastership.grant(message.grant)
         snapshot = state.record.snapshot()
@@ -153,11 +197,14 @@ class MDCCStorageNode(Node):
                 committed_version=snapshot.version,
                 committed_value=snapshot.value,
                 applied_ids=tuple(state.record.applied_ids),
+                epoch=self._epoch(),
             ),
         )
         self.counters.increment("acceptor.phase1b")
 
     def handle_m_phase2a(self, message: MPhase2a, src_id: str) -> None:
+        if self._fence_stale(message.epoch):
+            return
         state = self.record_state(message.record)
         effective = state.effective_ballot()
         if message.ballot < effective:
@@ -170,6 +217,7 @@ class MDCCStorageNode(Node):
                     cstruct=None,
                     committed_version=state.version,
                     promised=effective,
+                    epoch=self._epoch(),
                 ),
             )
             return
@@ -195,6 +243,7 @@ class MDCCStorageNode(Node):
                 accepted=True,
                 cstruct=adopted,
                 committed_version=state.version,
+                epoch=self._epoch(),
             ),
         )
 
@@ -297,6 +346,97 @@ class MDCCStorageNode(Node):
                 writeset=option.writeset if option is not None else (),
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot bootstrap (elastic membership)
+    # ------------------------------------------------------------------
+    def handle_snapshot_request(self, message: SnapshotRequest, src_id: str) -> None:
+        """Donor side: stream the whole store to a joining replica.
+
+        The stream is cut at a WAL checkpoint — everything at or below
+        the cut is inside the snapshot; writes after it reach the joiner
+        through anti-entropy before admission.  Chunking keeps each
+        message small so the transfer is individually subject to the
+        fault model (a partition mid-stream loses chunks and the manager
+        rotates donors).
+        """
+        from repro.reconfig.bootstrap import SNAPSHOT_CHUNK_RECORDS
+
+        cut = self.wal.checkpoint()
+        records = [
+            (
+                table,
+                key,
+                snapshot.version,
+                snapshot.value if snapshot.exists else None,
+                applied_ids,
+            )
+            for table, key, snapshot, applied_ids in self.store.snapshot()
+        ]
+        chunks = [
+            records[i : i + SNAPSHOT_CHUNK_RECORDS]
+            for i in range(0, len(records), SNAPSHOT_CHUNK_RECORDS)
+        ] or [[]]
+        for seq, chunk in enumerate(chunks):
+            last = seq == len(chunks) - 1
+            self.send(
+                message.target,
+                SnapshotChunk(
+                    request_id=message.request_id,
+                    seq=seq,
+                    records=tuple(chunk),
+                    last=last,
+                    wal_cut=cut if last else 0,
+                    reply_to=message.reply_to,
+                ),
+            )
+        self.counters.increment("bootstrap.streams_served")
+        self.counters.increment("bootstrap.records_streamed", amount=len(records))
+
+    def handle_snapshot_chunk(self, message: SnapshotChunk, src_id: str) -> None:
+        """Joiner side: adopt a donor's records via the catch-up rule.
+
+        Adoption is version-guarded and idempotent, so duplicate or
+        re-streamed chunks (donor rotation after a timeout) are harmless.
+        The ack to the reconfig manager is held until every chunk of the
+        stream arrived — chunks can be reordered in flight.
+        """
+        stream = self._bootstrap_streams.setdefault(
+            message.request_id,
+            {"seqs": set(), "total": None, "adopted": 0, "wal_cut": 0},
+        )
+        seqs: set = stream["seqs"]  # type: ignore[assignment]
+        if message.seq in seqs:
+            return
+        seqs.add(message.seq)
+        adopted = 0
+        for table, key, version, value, applied_ids in message.records:
+            state = self.record_state(RecordId(table, key))
+            if state.catch_up(version, value, applied_ids=tuple(applied_ids)):
+                adopted += 1
+        stream["adopted"] = int(stream["adopted"]) + adopted
+        if message.last:
+            stream["total"] = message.seq + 1
+            stream["wal_cut"] = message.wal_cut
+        if stream["total"] is not None and len(seqs) == stream["total"]:
+            self._bootstrap_streams.pop(message.request_id, None)
+            self.wal.append(
+                "snapshot-bootstrap",
+                source=src_id,
+                request_id=message.request_id,
+                records=int(stream["adopted"]),
+                wal_cut=int(stream["wal_cut"]),
+            )
+            self.counters.increment("bootstrap.streams_adopted")
+            self.send(
+                message.reply_to,
+                SnapshotAck(
+                    request_id=message.request_id,
+                    node_id=self.node_id,
+                    records_adopted=int(stream["adopted"]),
+                    wal_cut=int(stream["wal_cut"]),
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Master-role delegation

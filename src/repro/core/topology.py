@@ -21,6 +21,13 @@ Master policies (§2: "MDCC supports an individual master per record"):
   mastership can change by running Phase 1").  ``master_dc`` then
   consults the mutable, versioned
   :class:`~repro.placement.directory.PlacementDirectory`.
+
+Elastic membership: when a
+:class:`~repro.reconfig.directory.MembershipDirectory` is attached, the
+data-center set (and with it the replica sets, quorum sizes and hash
+master placement) is *dynamic* — every lookup reads the directory's
+current epoch state, so a single ``admit``/``retire`` atomically resizes
+quorums for every record.
 """
 
 from __future__ import annotations
@@ -47,12 +54,22 @@ class ReplicaMap:
         master_policy: str = "hash",
         table_master_dc: Optional[Dict[str, str]] = None,
         tracker_halflife_ms: float = 10_000.0,
+        membership=None,
     ) -> None:
         if not datacenters:
             raise ValueError("need at least one data center")
         if partitions_per_table < 1:
             raise ValueError("need at least one partition")
-        self.datacenters: Tuple[str, ...] = tuple(datacenters)
+        self._datacenters: Tuple[str, ...] = tuple(datacenters)
+        #: the elastic-membership directory (None for a static cluster).
+        #: When set, the DC tuple (and everything derived from it) tracks
+        #: the directory's epoch state instead of the build-time set.
+        self.membership = membership
+        if membership is not None and membership.active != self._datacenters:
+            raise ValueError(
+                "membership directory's active set does not match the "
+                "build-time data centers"
+            )
         self.partitions_per_table = partitions_per_table
         self.master_policy = master_policy
         self.table_master_dc = dict(table_master_dc or {})
@@ -62,6 +79,10 @@ class ReplicaMap:
                 raise ValueError(f"unknown fixed master DC {fixed_dc!r}")
         elif master_policy not in MASTER_POLICIES:
             raise ValueError(f"unknown master policy {master_policy!r}")
+        #: memoized (n, QuorumSpec) — quorum sizing math and the frozen
+        #: dataclass's intersection validation run once per resize, not
+        #: once per message handled.
+        self._quorum_cache: Optional[Tuple[int, QuorumSpec]] = None
         #: adaptive-policy state (None under the static policies).  Imported
         #: lazily: repro.placement depends on repro.core, not vice versa.
         self.tracker = None
@@ -72,6 +93,38 @@ class ReplicaMap:
 
             self.tracker = AccessTracker(halflife_ms=tracker_halflife_ms)
             self.directory = PlacementDirectory(fallback=self._hash_master_dc)
+
+    # ------------------------------------------------------------------
+    # Membership (static or epoch-versioned)
+    # ------------------------------------------------------------------
+    @property
+    def datacenters(self) -> Tuple[str, ...]:
+        """The quorum-member data centers under the current epoch."""
+        if self.membership is not None:
+            return self.membership.active
+        return self._datacenters
+
+    @property
+    def joining_datacenters(self) -> Tuple[str, ...]:
+        """DCs replicated-to but not yet in quorums (empty when static)."""
+        if self.membership is not None:
+            return self.membership.joining
+        return ()
+
+    @property
+    def epoch(self) -> int:
+        """The membership epoch protocol messages are fenced against.
+
+        Always 0 for a static cluster, so the epoch checks throughout the
+        protocol are no-ops unless a membership directory is attached.
+        """
+        if self.membership is not None:
+            return self.membership.epoch
+        return 0
+
+    @property
+    def is_elastic(self) -> bool:
+        return self.membership is not None
 
     # ------------------------------------------------------------------
     # Node naming and placement
@@ -91,9 +144,27 @@ class ReplicaMap:
         return stable_hash(f"{table}:{key}") % self.partitions_per_table
 
     def replicas(self, record: RecordId) -> List[str]:
-        """One storage node per data center, in data-center order."""
+        """One storage node per quorum-member data center, in DC order.
+
+        Joining data centers are deliberately excluded: a replica being
+        bootstrapped must never count toward a fast or classic quorum.
+        """
         partition = self.partition_of(record.table, record.key)
         return [self.storage_node_id(dc, partition) for dc in self.datacenters]
+
+    def replicas_for_repair(self, record: RecordId) -> List[str]:
+        """Replicas including joining DCs — the anti-entropy sweep scope.
+
+        Repair (CatchUp / visibility re-drive) is version-guarded and safe
+        at any epoch, so sweeping a half-bootstrapped replica is how a
+        joining DC catches up through writes that landed after its
+        snapshot cut.
+        """
+        partition = self.partition_of(record.table, record.key)
+        return [
+            self.storage_node_id(dc, partition)
+            for dc in (*self.datacenters, *self.joining_datacenters)
+        ]
 
     def replica_in(self, record: RecordId, dc: str) -> str:
         partition = self.partition_of(record.table, record.key)
@@ -104,7 +175,22 @@ class ReplicaMap:
         return len(self.datacenters)
 
     def quorums(self) -> QuorumSpec:
-        return QuorumSpec.for_replication(self.replication)
+        n = self.replication
+        if self._quorum_cache is None or self._quorum_cache[0] != n:
+            self._quorum_cache = (n, QuorumSpec.for_replication(n))
+        return self._quorum_cache[1]
+
+    def quorum_spec(self, config) -> QuorumSpec:
+        """The quorum sizes a protocol role should use right now.
+
+        The single source of the elastic-vs-static rule: an elastic
+        cluster derives sizes from the membership directory's current DC
+        count; a static cluster uses the frozen config.  Every role's
+        ``spec`` property delegates here.
+        """
+        if self.is_elastic:
+            return self.quorums()
+        return config.quorums
 
     # ------------------------------------------------------------------
     # Mastership

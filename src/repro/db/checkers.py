@@ -17,7 +17,7 @@ them mechanically against a finished simulation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.options import RecordId

@@ -14,7 +14,7 @@ distributed store, and accessed by the same clients" (§5.2).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.coordinator import WriteSet
 from repro.core.options import RecordId

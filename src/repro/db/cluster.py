@@ -70,6 +70,9 @@ class Cluster:
         self._schemas: List[TableSchema] = []
         #: the adaptive-placement control plane (None under static policies).
         self.placement_manager = None
+        #: elastic-membership state (None unless built with elastic=True).
+        self.membership = None
+        self.reconfig = None
 
     # ------------------------------------------------------------------
     # Tables and data
@@ -211,6 +214,44 @@ class Cluster:
         )
 
     # ------------------------------------------------------------------
+    # Elastic membership (storage-node lifecycle)
+    # ------------------------------------------------------------------
+    def add_datacenter_nodes(self, dc: str) -> List[str]:
+        """Build and register ``dc``'s storage nodes at runtime (a join).
+
+        The new nodes carry every registered table schema but no data —
+        the reconfig manager's snapshot bootstrap fills them.  MDCC
+        variants only (elastic clusters are built that way).
+        """
+        node_ids: List[str] = []
+        for partition in range(self.placement.partitions_per_table):
+            node_id = self.placement.storage_node_id(dc, partition)
+            node = MDCCStorageNode(
+                self.sim,
+                self.network,
+                node_id,
+                dc,
+                placement=self.placement,
+                config=self.config,
+                counters=self.counters,
+            )
+            for schema in self._schemas:
+                node.store.register_table(schema)
+            self.storage_nodes[node_id] = node
+            node_ids.append(node_id)
+        return node_ids
+
+    def drop_datacenter_nodes(self, dc: str) -> List[str]:
+        """Deregister and forget ``dc``'s storage nodes (a decommission)."""
+        dropped: List[str] = []
+        for node_id in sorted(self.storage_nodes):
+            if self.storage_nodes[node_id].dc == dc:
+                self.network.deregister(node_id)
+                del self.storage_nodes[node_id]
+                dropped.append(node_id)
+        return dropped
+
+    # ------------------------------------------------------------------
     # Failure injection passthroughs
     # ------------------------------------------------------------------
     def fail_datacenter(self, dc: str) -> None:
@@ -233,6 +274,7 @@ def build_cluster(
     migration_policy=None,
     placement_scan_ms: float = 1_000.0,
     tracker_halflife_ms: float = 10_000.0,
+    elastic: bool = False,
 ) -> Cluster:
     """Assemble a full deployment of ``protocol`` over ``datacenters``.
 
@@ -243,6 +285,17 @@ def build_cluster(
     cadence, ``tracker_halflife_ms`` the write-origin decay).  Mastership
     migration runs over the MDCC master machinery, so it is limited to the
     MDCC variants.
+
+    ``elastic=True`` attaches a
+    :class:`~repro.reconfig.directory.MembershipDirectory` and deploys a
+    :class:`~repro.reconfig.manager.ReconfigManager`
+    (``cluster.reconfig``) so data centers can join or leave at runtime
+    with epoch-fenced quorum resizing.  Like adaptive placement, elastic
+    membership runs over the MDCC master machinery and is limited to the
+    MDCC variants.  The reconfig control plane lives in the *first* data
+    center — fault scenarios that kill that DC stall membership
+    operations themselves (by design: the manager is an ordinary node,
+    not an oracle), so schedules should pick their victims elsewhere.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
@@ -255,18 +308,29 @@ def build_cluster(
             "adaptive master placement requires an MDCC variant "
             f"({', '.join(_VARIANTS)}); got {protocol!r}"
         )
+    if elastic and protocol not in _VARIANTS:
+        raise ValueError(
+            "elastic membership requires an MDCC variant "
+            f"({', '.join(_VARIANTS)}); got {protocol!r}"
+        )
     rng = RngRegistry(seed=seed)
     sim = Simulator()
     latency = LatencyModel(
         rtt_matrix=rtt_matrix, jitter_sigma=jitter_sigma, rng_registry=rng
     )
     network = Network(sim, latency_model=latency, rng_registry=rng)
+    membership = None
+    if elastic:
+        from repro.reconfig.directory import MembershipDirectory
+
+        membership = MembershipDirectory(datacenters)
     placement = ReplicaMap(
         datacenters,
         partitions_per_table=partitions_per_table,
         master_policy=master_policy,
         table_master_dc=table_master_dc,
         tracker_halflife_ms=tracker_halflife_ms,
+        membership=membership,
     )
     if config is None:
         config = MDCCConfig(
@@ -289,6 +353,19 @@ def build_cluster(
         rng=rng,
     )
     cluster.storage_nodes = _build_storage_nodes(cluster)
+    if membership is not None:
+        from repro.reconfig.manager import ReconfigManager
+
+        cluster.membership = membership
+        cluster.reconfig = ReconfigManager(
+            sim,
+            network,
+            f"reconfig-{membership.active[0]}",
+            membership.active[0],
+            cluster=cluster,
+            membership=membership,
+            counters=counters,
+        )
     if placement.is_adaptive:
         from repro.placement.manager import PlacementManager
 

@@ -26,7 +26,7 @@ quorum read only when the local replica would violate the guarantee.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.messages import ReadReply
 from repro.core.options import RecordId

@@ -166,6 +166,56 @@ class ChaosController:
         self._record("drop-rate", rate=params["rate"])
 
     # ------------------------------------------------------------------
+    # Membership events (elastic clusters)
+    # ------------------------------------------------------------------
+    def _do_decommission_dc(self, params: Dict[str, object]) -> None:
+        from repro.reconfig.directory import MembershipError
+
+        manager = self.cluster.reconfig
+        if manager is None:
+            self._record(
+                "decommission-skipped", dc=params["dc"], reason="not-elastic"
+            )
+            return
+        try:
+            future = manager.decommission(params["dc"])
+        except MembershipError as exc:
+            # A mis-scripted schedule (retiring a non-member, or the last
+            # DC) must not crash the scenario mid-run.
+            self._record(
+                "decommission-failed", dc=params["dc"], reason=str(exc)
+            )
+            return
+        future.add_done_callback(
+            lambda fut: self._record("dc-decommissioned", **fut.result())
+        )
+
+    def _do_join_dc(self, params: Dict[str, object]) -> None:
+        from repro.reconfig.directory import MembershipError
+
+        manager = self.cluster.reconfig
+        if manager is None:
+            self._record("join-skipped", dc=params["dc"], reason="not-elastic")
+            return
+        try:
+            future = manager.join(
+                params["dc"],
+                like=params.get("like"),
+                donor_dc=params.get("donor"),
+            )
+        except MembershipError as exc:
+            self._record("join-failed", dc=params["dc"], reason=str(exc))
+            return
+        future.add_done_callback(self._on_join_done)
+
+    def _on_join_done(self, future) -> None:
+        report = future.result()
+        # An aborted bootstrap/catch-up resolves with ok=False — log it
+        # as a failure, not a join.
+        event = "dc-joined" if report.get("ok") else "dc-join-failed"
+        self._record(event, **report)
+
+    # ------------------------------------------------------------------
     # Master crash
     # ------------------------------------------------------------------
     def _do_crash_master(self, params: Dict[str, object]) -> None:

@@ -22,6 +22,10 @@ protocol differentiates under:
 * ``follow-the-sun-outage`` — the data center currently "in daylight"
   (and being migrated *toward* by adaptive placement) goes dark:
   placement migration racing a partition.
+* ``dc-replace`` — the disaster-replacement lifecycle over an *elastic*
+  cluster (:mod:`repro.reconfig`): a data center goes dark, is
+  decommissioned (epoch-fenced quorum shrink + mastership evacuation),
+  and a replacement joins via snapshot bootstrap and is admitted.
 
 Event times are absolute simulated milliseconds.  :func:`named_schedule`
 builds the named ones proportionally to a (start, duration) window so the
@@ -174,6 +178,26 @@ class FaultSchedule:
     def set_drop_rate(self, at_ms: float, rate: float) -> "FaultSchedule":
         return self._add(at_ms, "drop-rate", rate=rate)
 
+    def decommission_dc(self, at_ms: float, dc: str) -> "FaultSchedule":
+        """Gracefully remove ``dc`` from a running *elastic* cluster:
+        retire it from the membership (epoch bump, quorum shrink),
+        evacuate its record masterships via Phase-1 takeovers, then drop
+        its replicas.  Requires the cluster to be built elastic."""
+        return self._add(at_ms, "decommission-dc", dc=dc)
+
+    def join_dc(
+        self,
+        at_ms: float,
+        dc: str,
+        like: Optional[str] = None,
+        donor: Optional[str] = None,
+    ) -> "FaultSchedule":
+        """Join ``dc`` to a running *elastic* cluster: wire its links
+        (cloning ``like``'s RTT profile when it is a brand-new DC),
+        snapshot-bootstrap its replicas from ``donor``, catch up through
+        anti-entropy, then admit it to quorums (epoch bump)."""
+        return self._add(at_ms, "join-dc", dc=dc, like=like, donor=donor)
+
     def crash_master(self, at_ms: float, dc: Optional[str] = None) -> "FaultSchedule":
         """Crash the master storage node of a workload record.
 
@@ -207,6 +231,15 @@ class FaultSchedule:
     def horizon_ms(self) -> float:
         """Time of the last scheduled event (0 for an empty schedule)."""
         return max((event.at_ms for event in self.events), default=0.0)
+
+    @property
+    def needs_reconfig(self) -> bool:
+        """True when the timeline contains membership events — the
+        harness then builds the cluster elastic automatically."""
+        return any(
+            event.action in ("join-dc", "decommission-dc")
+            for event in self.events
+        )
 
     def count(self, action: str) -> int:
         return sum(1 for event in self.events if event.action == action)
@@ -321,12 +354,41 @@ def _follow_the_sun_outage(t0: float, d: float) -> FaultSchedule:
     return schedule
 
 
+def _dc_replace(
+    t0: float,
+    d: float,
+    victim: str = "us-east",
+    replacement: str = "us-east-2",
+    donor: str = "us-west",
+) -> FaultSchedule:
+    if victim == donor:
+        raise ValueError("dc-replace victim cannot be the snapshot donor")
+    if replacement in (victim, donor):
+        raise ValueError(
+            "dc-replace replacement must be a brand-new data center, not "
+            "the victim or the donor"
+        )
+    schedule = FaultSchedule(
+        "dc-replace",
+        description="Disaster replacement over an elastic cluster: "
+        f"{victim} goes dark, is decommissioned (quorums shrink, "
+        "masterships evacuate), and a replacement joins via snapshot "
+        "bootstrap and is admitted (quorums grow).",
+        min_availability=0.5,
+    )
+    schedule.fail_dc(t0 + 0.15 * d, victim)
+    schedule.decommission_dc(t0 + 0.35 * d, victim)
+    schedule.join_dc(t0 + 0.50 * d, replacement, like=victim, donor=donor)
+    return schedule
+
+
 _FACTORIES = {
     "dc-outage": _dc_outage,
     "rolling-partitions": _rolling_partitions,
     "flaky-wan": _flaky_wan,
     "coordinator-crash": _coordinator_crash,
     "follow-the-sun-outage": _follow_the_sun_outage,
+    "dc-replace": _dc_replace,
 }
 
 #: The named schedules, in presentation order.
@@ -334,12 +396,17 @@ NAMED_SCHEDULES: Tuple[str, ...] = tuple(_FACTORIES)
 
 
 def named_schedule(
-    name: str, start_ms: float = 5_000.0, duration_ms: float = 60_000.0
+    name: str,
+    start_ms: float = 5_000.0,
+    duration_ms: float = 60_000.0,
+    **params: object,
 ) -> FaultSchedule:
     """Build a named schedule scaled to a (start, duration) window.
 
     ``start_ms`` is typically the warmup length; fault times land at fixed
     fractions of ``duration_ms`` so the scenario shape survives scaling.
+    Extra keyword ``params`` parameterize schedules that accept them
+    (``dc-replace`` takes ``victim``, ``replacement``, ``donor``).
     """
     factory = _FACTORIES.get(name)
     if factory is None:
@@ -348,4 +415,15 @@ def named_schedule(
         )
     if duration_ms <= 0:
         raise ValueError("duration_ms must be positive")
-    return factory(float(start_ms), float(duration_ms))
+    if params:
+        import inspect
+
+        accepted = set(inspect.signature(factory).parameters) - {"t0", "d"}
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise ValueError(
+                f"schedule {name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}"
+                + (f"; it accepts {', '.join(sorted(accepted))}" if accepted else "")
+            )
+    return factory(float(start_ms), float(duration_ms), **params)

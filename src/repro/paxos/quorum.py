@@ -69,10 +69,21 @@ class QuorumSpec:
 
     @classmethod
     def for_replication(cls, n: int) -> "QuorumSpec":
-        """Minimal sizes for ``n`` replicas — (3, 4) at the paper's n=5."""
+        """Minimal sizes for ``n`` replicas — (3, 4) at the paper's n=5.
+
+        Under elastic membership this is re-derived from the directory's
+        current data-center count on every quorum check, so an epoch bump
+        (admit/retire) resizes classic and fast quorums cluster-wide in
+        one step — there is never a mixed-size quorum, because votes
+        stamped with the old epoch are fenced out by their receivers.
+        """
         classic = classic_quorum_size(n)
         fast = min_fast_quorum_size(n, classic)
         return cls(n=n, classic_size=classic, fast_size=fast)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly sizes for results/CLI reporting."""
+        return {"n": self.n, "classic": self.classic_size, "fast": self.fast_size}
 
     # ------------------------------------------------------------------
     # Predicates

@@ -25,7 +25,7 @@ master-to-quorum round trip, and positions are strictly sequential.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import MDCCConfig

@@ -1,0 +1,16 @@
+"""Elastic membership: runtime data-center join/leave (reconfiguration).
+
+The paper's deployment is frozen at cluster-build time — "each data
+center has a full replica of the data" (§5.1) over a fixed DC set.  This
+package makes the DC set *dynamic*: an epoch-versioned
+:class:`~repro.reconfig.directory.MembershipDirectory` drives quorum
+sizing and replica placement, a snapshot bootstrap streams committed
+state to a joining data center, and a graceful decommission evacuates a
+leaving data center's record masterships through the same §3.1.1
+Phase-1 takeover the placement subsystem uses.
+"""
+
+from repro.reconfig.directory import MembershipDirectory
+from repro.reconfig.manager import ReconfigManager
+
+__all__ = ["MembershipDirectory", "ReconfigManager"]

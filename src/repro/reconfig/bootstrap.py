@@ -1,0 +1,120 @@
+"""Bookkeeping for in-flight membership operations.
+
+The reconfig manager is message-driven (like every simulated node), so a
+join or decommission is a little state machine spread across handlers.
+These dataclasses hold that state:
+
+* :class:`PartitionTransfer` — one donor→joiner snapshot stream (one per
+  partition of the joining data center).
+* :class:`JoinOperation` — a whole join: every partition transfer, the
+  catch-up sweep reports, and the future the caller awaits.
+* :class:`DecommissionOperation` — a whole leave: the evacuated record
+  masterships still awaiting their Phase-1 takeover acknowledgement.
+
+The donor side streams records in fixed-size chunks
+(:data:`SNAPSHOT_CHUNK_RECORDS`) so one bootstrap is many messages, each
+individually subject to the network's latency and fault model — a
+partition mid-stream loses chunks, the manager's timeout rotates to
+another donor, and re-streamed records are adopted idempotently (the
+catch-up rule ignores stale versions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.options import RecordId
+from repro.sim.core import Future
+
+__all__ = [
+    "DecommissionOperation",
+    "JoinOperation",
+    "PartitionTransfer",
+    "SNAPSHOT_CHUNK_RECORDS",
+]
+
+#: Records per SnapshotChunk message.  Small enough that a stream is many
+#: messages (fault-realistic), large enough to stay cheap in the sim.
+SNAPSHOT_CHUNK_RECORDS = 64
+
+
+@dataclass
+class PartitionTransfer:
+    """One partition's snapshot stream from a donor to the joining node."""
+
+    partition: int
+    target: str          # joining storage node id
+    donor: str           # donor storage node id (rotates on retry)
+    request_id: int      # rotates with the donor on retry
+    acked: bool = False
+    records: int = 0
+    wal_cut: int = 0
+
+
+@dataclass
+class JoinOperation:
+    """State of one data-center join, from begin_join to admit."""
+
+    dc: str
+    donor_dc: str
+    future: Future
+    started_at: float
+    transfers: List[PartitionTransfer] = field(default_factory=list)
+    sweep_reports: List[Dict[str, object]] = field(default_factory=list)
+    #: memoized table -> keys sweep scope (one full-store scan per join,
+    #: not one per sweep round; keys born mid-join reach the joiner via
+    #: live visibilities and ordinary repair).
+    key_cache: Dict[str, List[str]] = field(default_factory=dict)
+    retries: int = 0
+    done: bool = False
+
+    @property
+    def bootstrapped(self) -> bool:
+        return all(transfer.acked for transfer in self.transfers)
+
+    @property
+    def records_streamed(self) -> int:
+        return sum(transfer.records for transfer in self.transfers)
+
+    def report(self, ok: bool, epoch: int, now: float) -> Dict[str, object]:
+        return {
+            "ok": ok,
+            "dc": self.dc,
+            "donor_dc": self.donor_dc,
+            "epoch": epoch,
+            "records_streamed": self.records_streamed,
+            "wal_cuts": {
+                transfer.target: transfer.wal_cut for transfer in self.transfers
+            },
+            "sweeps": list(self.sweep_reports),
+            "bootstrap_retries": self.retries,
+            "duration_ms": round(now - self.started_at, 3),
+        }
+
+
+@dataclass
+class DecommissionOperation:
+    """State of one data-center leave, from retire to replica drop."""
+
+    dc: str
+    epoch: int
+    future: Future
+    started_at: float
+    #: evacuated records still awaiting a MastershipTaken acknowledgement.
+    pending: Set[RecordId] = field(default_factory=set)
+    evacuated_total: int = 0
+    redrives: int = 0
+    done: bool = False
+
+    def report(self, dropped_nodes: List[str], now: float) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "dc": self.dc,
+            "epoch": self.epoch,
+            "masterships_evacuated": self.evacuated_total - len(self.pending),
+            "masterships_unacked": len(self.pending),
+            "evacuation_redrives": self.redrives,
+            "dropped_nodes": list(dropped_nodes),
+            "duration_ms": round(now - self.started_at, 3),
+        }

@@ -1,0 +1,428 @@
+"""The membership control plane: join, bootstrap, admit; retire, evacuate.
+
+A :class:`ReconfigManager` is a simulated node (like
+:class:`~repro.placement.manager.PlacementManager`) that drives the two
+membership operations end to end:
+
+**Join** (:meth:`join`) — scale-out or disaster replacement:
+
+1. wire the new data center into the network fabric (runtime RTT
+   registration; a replacement DC clones its template's link profile);
+2. ``begin_join`` in the :class:`~repro.reconfig.directory.
+   MembershipDirectory` — the DC now hosts replicas but joins no quorum;
+3. build its storage nodes and stream a **snapshot bootstrap** from a
+   donor DC: per partition, the donor walks its store
+   (:meth:`~repro.storage.store.RecordStore.snapshot`) and streams
+   chunks cut at a WAL checkpoint
+   (:meth:`~repro.storage.wal.WriteAheadLog.checkpoint`);
+4. run anti-entropy **catch-up sweeps** over the joining replicas until
+   nothing lags (writes that landed after the snapshot cut);
+5. ``admit`` — the epoch bumps, quorums grow, and stale-epoch votes from
+   the old configuration are fenced out everywhere.
+
+**Decommission** (:meth:`decommission`) — graceful leave:
+
+1. compute the records the leaving DC masters, then ``retire`` it — the
+   epoch bumps, quorums shrink, and hash mastership re-routes;
+2. **evacuate** each such record by sending
+   ``StartRecovery(reason="migration")`` to its new master, whose
+   embedded :class:`~repro.core.master.MasterRole` runs the §3.1.1
+   Phase-1 ballot takeover (the same fencing primitive the placement
+   subsystem uses) and acknowledges with ``MastershipTaken``;
+3. once every takeover acknowledged (or the evacuation timeout forces
+   the issue — lazy per-record recovery covers stragglers), drop the
+   leaving DC's replicas from the network.
+
+Correctness never rests on the manager: epochs fence quorum votes and
+ballots fence mastership; the manager only sequences the transitions and
+accelerates what on-demand recovery would do lazily.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import MastershipTaken, SnapshotAck, SnapshotRequest, StartRecovery
+from repro.core.options import RecordId
+from repro.reconfig.bootstrap import (
+    DecommissionOperation,
+    JoinOperation,
+    PartitionTransfer,
+)
+from repro.reconfig.directory import MembershipDirectory, MembershipError
+from repro.sim.core import Future, Simulator
+from repro.sim.monitor import CounterSet
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+__all__ = ["ReconfigManager"]
+
+
+class ReconfigManager(Node):
+    """Runtime data-center join/leave orchestration for one cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        dc: str,
+        cluster,
+        membership: MembershipDirectory,
+        counters: Optional[CounterSet] = None,
+        sweep_rounds: int = 3,
+        bootstrap_timeout_ms: float = 15_000.0,
+        evac_timeout_ms: float = 12_000.0,
+        replacement_rtt_ms: float = 25.0,
+    ) -> None:
+        super().__init__(sim, network, node_id, dc)
+        self.cluster = cluster
+        self.membership = membership
+        self.counters = counters if counters is not None else CounterSet()
+        self.sweep_rounds = sweep_rounds
+        self.bootstrap_timeout_ms = bootstrap_timeout_ms
+        self.evac_timeout_ms = evac_timeout_ms
+        #: RTT assumed between a replacement DC and the (likely dead)
+        #: template whose link profile it clones — "same region, new
+        #: building".
+        self.replacement_rtt_ms = replacement_rtt_ms
+        self._request_seq = itertools.count(1)
+        self._joins: Dict[str, JoinOperation] = {}
+        self._transfers: Dict[int, Tuple[JoinOperation, PartitionTransfer]] = {}
+        self._decommissions: Dict[str, DecommissionOperation] = {}
+        #: JSON-friendly operation log (mirrors the chaos controller's).
+        self.log: List[Dict[str, object]] = []
+        self._antientropy = None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _record(self, event: str, **details: object) -> None:
+        self.log.append(
+            {"t_ms": round(self.sim.now, 3), "event": event, **details}
+        )
+
+    def _ae_agent(self):
+        if self._antientropy is None:
+            self._antientropy = self.cluster.add_anti_entropy_agent(
+                self.dc, name=f"{self.node_id}-antientropy"
+            )
+        return self._antientropy
+
+    def _all_keys_by_table(self) -> Dict[str, List[str]]:
+        """Every (table, key) any active replica has committed state for."""
+        tables: Dict[str, set] = {}
+        for node in self.cluster.storage_nodes.values():
+            for table, key, _snapshot, _ids in node.store.snapshot():
+                tables.setdefault(table, set()).add(key)
+        return {table: sorted(keys) for table, keys in sorted(tables.items())}
+
+    # ------------------------------------------------------------------
+    # Join
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        dc: str,
+        rtts: Optional[Dict[str, float]] = None,
+        like: Optional[str] = None,
+        donor_dc: Optional[str] = None,
+    ) -> Future:
+        """Bring ``dc`` into the running cluster; resolves with a report.
+
+        ``rtts`` wires the new DC's links explicitly; without it, the DC
+        clones ``like``'s link profile (default: the donor) — the
+        disaster-replacement case, where the new DC stands where the dead
+        one stood.  ``donor_dc`` chooses who streams the snapshot
+        (default: the first active DC).
+        """
+        existing = self._joins.get(dc)
+        if existing is not None and not existing.done:
+            return existing.future
+        now = self.sim.now
+        active = self.membership.active
+        # Validate BEFORE mutating anything: a join of an already-active
+        # DC must not get as far as healing that DC's scheduled faults.
+        if self.membership.is_active(dc):
+            raise MembershipError(f"DC {dc!r} is already an active member")
+        if self.membership.is_joining(dc):
+            raise MembershipError(f"DC {dc!r} is already joining")
+        donor = donor_dc if donor_dc is not None else active[0]
+        if donor not in active:
+            raise MembershipError(f"donor DC {donor!r} is not an active member")
+        if not self.network.latency.knows_datacenter(dc):
+            if rtts is None:
+                template = like if like is not None else donor
+                rtts = dict(self.network.latency.rtts_from(template))
+                rtts[template] = self.replacement_rtt_ms
+            self.network.add_datacenter(dc, rtts)
+        else:
+            # A rejoin under a previously used name (scale-in then
+            # scale-out of the same region): the new incarnation must not
+            # inherit its dead predecessor's outage or link faults.
+            self.network.reset_datacenter_faults(dc)
+        self.membership.begin_join(dc, now)
+        node_ids = self.cluster.add_datacenter_nodes(dc)
+        op = JoinOperation(
+            dc=dc, donor_dc=donor, future=self.sim.future(), started_at=now
+        )
+        self._joins[dc] = op
+        for partition, target in enumerate(node_ids):
+            transfer = PartitionTransfer(
+                partition=partition,
+                target=target,
+                donor=self.cluster.placement.storage_node_id(donor, partition),
+                request_id=next(self._request_seq),
+            )
+            op.transfers.append(transfer)
+            self._transfers[transfer.request_id] = (op, transfer)
+            self._request_snapshot(transfer)
+        self._record("join-started", dc=dc, donor=donor, partitions=len(node_ids))
+        self.counters.increment("reconfig.joins_started")
+        self.set_timer(self.bootstrap_timeout_ms, self._bootstrap_check, op)
+        return op.future
+
+    def _request_snapshot(self, transfer: PartitionTransfer) -> None:
+        self.send(
+            transfer.donor,
+            SnapshotRequest(
+                request_id=transfer.request_id,
+                target=transfer.target,
+                reply_to=self.node_id,
+            ),
+        )
+
+    def handle_snapshot_ack(self, message: SnapshotAck, src_id: str) -> None:
+        entry = self._transfers.get(message.request_id)
+        if entry is None:
+            return  # late ack from a donor we already rotated away from
+        op, transfer = entry
+        if op.done or transfer.acked:
+            return
+        transfer.acked = True
+        transfer.records = message.records_adopted
+        transfer.wal_cut = message.wal_cut
+        self.counters.increment("reconfig.snapshot_acks")
+        if op.bootstrapped:
+            self._record(
+                "snapshot-complete",
+                dc=op.dc,
+                records=op.records_streamed,
+            )
+            self._start_sweep_round(op, 0)
+
+    def _bootstrap_check(self, op: JoinOperation) -> None:
+        """Re-drive unacked partition streams from a rotated donor."""
+        if op.done or op.bootstrapped:
+            return
+        op.retries += 1
+        candidates = [d for d in self.membership.active if d != op.dc]
+        if op.retries > 2 * len(candidates) + 2:
+            self._abort_join(op, reason="bootstrap-unreachable")
+            return
+        base = candidates.index(op.donor_dc) if op.donor_dc in candidates else 0
+        for transfer in op.transfers:
+            if transfer.acked:
+                continue
+            donor = candidates[(base + op.retries) % len(candidates)]
+            self._transfers.pop(transfer.request_id, None)
+            transfer.donor = self.cluster.placement.storage_node_id(
+                donor, transfer.partition
+            )
+            transfer.request_id = next(self._request_seq)
+            self._transfers[transfer.request_id] = (op, transfer)
+            self._request_snapshot(transfer)
+        self.counters.increment("reconfig.bootstrap_retries")
+        self.set_timer(self.bootstrap_timeout_ms, self._bootstrap_check, op)
+
+    def _abort_join(self, op: JoinOperation, reason: str) -> None:
+        if op.done:
+            return
+        op.done = True
+        for transfer in op.transfers:
+            self._transfers.pop(transfer.request_id, None)
+        self.membership.abort_join(op.dc, self.sim.now)
+        dropped = self.cluster.drop_datacenter_nodes(op.dc)
+        self._record("join-aborted", dc=op.dc, reason=reason, dropped=len(dropped))
+        self.counters.increment("reconfig.joins_aborted")
+        report = op.report(ok=False, epoch=self.membership.epoch, now=self.sim.now)
+        report["aborted"] = reason
+        op.future.try_resolve(report)
+
+    # -- catch-up sweeps -------------------------------------------------
+    def _start_sweep_round(self, op: JoinOperation, round_index: int) -> None:
+        if op.done:
+            return
+        if not op.key_cache:
+            op.key_cache = self._all_keys_by_table()
+        tables = op.key_cache
+        if not tables:
+            self._admit(op, caught_up=True)
+            return
+        self._sweep_tables(
+            op, round_index, list(tables.items()), lag=0, unreachable=set()
+        )
+
+    def _sweep_tables(
+        self,
+        op: JoinOperation,
+        round_index: int,
+        remaining: List[Tuple[str, List[str]]],
+        lag: int,
+        unreachable: set,
+    ) -> None:
+        if op.done:
+            return
+        if not remaining:
+            joiner_nodes = {
+                transfer.target for transfer in op.transfers
+            }
+            joiner_dark = bool(unreachable & joiner_nodes)
+            op.sweep_reports.append(
+                {
+                    "round": round_index,
+                    "records_with_lag": lag,
+                    "unreachable_nodes": sorted(unreachable),
+                }
+            )
+            if lag == 0 and not joiner_dark:
+                self._admit(op, caught_up=not unreachable)
+            elif round_index + 1 < self.sweep_rounds:
+                self._start_sweep_round(op, round_index + 1)
+            elif joiner_dark:
+                # The joiner itself stayed unreachable through every
+                # round: admitting a dark replica into quorums would
+                # silently shrink availability headroom.  Abort, like the
+                # bootstrap phase does.  (Some OTHER replica being dark —
+                # e.g. an outage elsewhere — does not block admission.)
+                self._abort_join(op, reason="catchup-unreachable")
+            else:
+                # Reachable but still trailing live writes — a lagging
+                # replica is safe (Paxos tolerates it; repair converges
+                # it), so admit, but say so loudly in the report.
+                self.counters.increment("reconfig.admitted_lagging")
+                self._admit(op, caught_up=False)
+            return
+        table, keys = remaining[0]
+
+        def on_swept(future) -> None:
+            report = future.result()
+            self._sweep_tables(
+                op,
+                round_index,
+                remaining[1:],
+                lag + report.records_with_lag,
+                unreachable | report.unreachable_nodes,
+            )
+
+        self._ae_agent().sweep(table, keys).add_done_callback(on_swept)
+        self.counters.increment("reconfig.catchup_sweeps")
+
+    def _admit(self, op: JoinOperation, caught_up: bool) -> None:
+        if op.done:
+            return
+        op.done = True
+        epoch = self.membership.admit(op.dc, self.sim.now)
+        report = op.report(ok=True, epoch=epoch, now=self.sim.now)
+        report["caught_up"] = caught_up
+        self._record("admitted", **report)
+        self.counters.increment("reconfig.joins_completed")
+        op.future.try_resolve(report)
+
+    # ------------------------------------------------------------------
+    # Decommission
+    # ------------------------------------------------------------------
+    def decommission(self, dc: str) -> Future:
+        """Gracefully remove ``dc``; resolves with a report.
+
+        Works for a healthy DC (planned scale-in) and for a dark one
+        (disaster replacement): evacuation never needs the leaving DC —
+        the Phase-1 takeovers run entirely among the survivors, whose
+        shrunken quorums no longer require it.
+        """
+        existing = self._decommissions.get(dc)
+        if existing is not None and not existing.done:
+            return existing.future
+        now = self.sim.now
+        placement = self.cluster.placement
+        evacuees = [
+            RecordId(table, key)
+            for table, keys in self._all_keys_by_table().items()
+            for key in keys
+            if placement.master_dc(RecordId(table, key)) == dc
+        ]
+        epoch = self.membership.retire(dc, now)
+        op = DecommissionOperation(
+            dc=dc,
+            epoch=epoch,
+            future=self.sim.future(),
+            started_at=now,
+            pending=set(evacuees),
+            evacuated_total=len(evacuees),
+        )
+        self._decommissions[dc] = op
+        self._record(
+            "decommission-started", dc=dc, epoch=epoch, evacuees=len(evacuees)
+        )
+        self.counters.increment("reconfig.decommissions_started")
+        for record in evacuees:
+            self._evacuate(record, attempt=0)
+        if not op.pending:
+            self._finish_decommission(op)
+        else:
+            self.set_timer(self.evac_timeout_ms / 2.0, self._evac_redrive, op)
+            self.set_timer(self.evac_timeout_ms, self._finish_decommission, op)
+        return op.future
+
+    def _evacuate(self, record: RecordId, attempt: int) -> None:
+        """Ask a surviving replica to take the record's mastership over.
+
+        Routing follows the post-retire placement; retries rotate through
+        the failover candidates exactly like coordinator recovery does.
+        """
+        candidates = self.cluster.placement.master_candidates(record)
+        target = candidates[attempt % len(candidates)]
+        self.send(
+            target,
+            StartRecovery(record=record, reason="migration", reply_to=self.node_id),
+        )
+
+    def _evac_redrive(self, op: DecommissionOperation) -> None:
+        if op.done or not op.pending:
+            return
+        op.redrives += 1
+        self.counters.increment("reconfig.evac_redrives")
+        for record in sorted(op.pending):
+            self._evacuate(record, attempt=op.redrives)
+        self.set_timer(self.evac_timeout_ms / 2.0, self._evac_redrive, op)
+
+    def handle_mastership_taken(self, message: MastershipTaken, src_id: str) -> None:
+        for op in self._decommissions.values():
+            if not op.done and message.record in op.pending:
+                op.pending.discard(message.record)
+                if not op.pending:
+                    self._finish_decommission(op)
+                return
+        # Not ours (e.g. a placement-manager takeover ack): ignore.
+
+    def _finish_decommission(self, op: DecommissionOperation) -> None:
+        """Drop the leaving DC's replicas — strictly after evacuation.
+
+        Fires either when every takeover acknowledged or when the
+        evacuation timeout expires; unacked records are covered by
+        ordinary on-demand recovery (their new masters win Phase 1 the
+        first time anyone escalates to them).
+        """
+        if op.done:
+            return
+        op.done = True
+        dropped = self.cluster.drop_datacenter_nodes(op.dc)
+        self._record(
+            "decommissioned",
+            dc=op.dc,
+            epoch=op.epoch,
+            unacked=len(op.pending),
+            dropped=len(dropped),
+        )
+        self.counters.increment("reconfig.decommissions_completed")
+        op.future.try_resolve(op.report(dropped_nodes=dropped, now=self.sim.now))

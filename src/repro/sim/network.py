@@ -86,11 +86,13 @@ class LatencyModel:
         # Directional (src, dst) -> RTT table so the per-message hot path
         # avoids building a frozenset for every send.
         self._directional: Dict[Tuple[str, str], float] = {}
+        self._known: set[str] = set()
         for pair, rtt in self.rtt_matrix.items():
             names = tuple(pair)
             if len(names) == 2:
                 self._directional[(names[0], names[1])] = rtt
                 self._directional[(names[1], names[0])] = rtt
+                self._known.update(names)
 
     def base_rtt(self, dc_a: str, dc_b: str) -> float:
         """Deterministic round-trip time between two data centers."""
@@ -110,10 +112,53 @@ class LatencyModel:
 
     def datacenters(self) -> Tuple[str, ...]:
         """All data centers mentioned in the matrix."""
-        names: set[str] = set()
-        for pair in self.rtt_matrix:
-            names.update(pair)
-        return tuple(sorted(names))
+        return tuple(sorted(self._known))
+
+    def knows_datacenter(self, dc: str) -> bool:
+        return dc in self._known
+
+    def rtts_from(self, dc: str) -> Dict[str, float]:
+        """``other_dc -> rtt`` for every configured link of ``dc``.
+
+        The template for cloning a data center's network position — a
+        replacement DC joining where a failed one used to be inherits its
+        round-trip times.
+        """
+        return {
+            other: rtt
+            for (src, other), rtt in self._directional.items()
+            if src == dc
+        }
+
+    def add_datacenter(self, dc: str, rtts: Dict[str, float]) -> None:
+        """Register a new data center's links at runtime (elastic joins).
+
+        ``rtts`` maps existing data centers to round-trip times.  Every
+        *currently known* DC must be covered — a partially connected DC
+        would crash the simulation on its first unreachable send — except
+        that a matrix-known DC absent from ``rtts`` whose links were
+        copied wholesale is caught at send time as before.
+        """
+        if dc in self._known:
+            raise SimulationError(f"data center {dc!r} already configured")
+        if not rtts:
+            raise SimulationError(f"no RTTs supplied for new data center {dc!r}")
+        missing = self._known - set(rtts)
+        if missing:
+            raise SimulationError(
+                f"RTTs for new data center {dc!r} missing links to "
+                f"{sorted(missing)}"
+            )
+        for other, rtt in rtts.items():
+            if other == dc:
+                raise SimulationError(f"self-RTT supplied for {dc!r}")
+            if not rtt > 0:
+                raise SimulationError(f"non-positive RTT {rtt!r} for {dc!r}<->{other!r}")
+        for other, rtt in rtts.items():
+            self.rtt_matrix[frozenset((dc, other))] = float(rtt)
+            self._directional[(dc, other)] = float(rtt)
+            self._directional[(other, dc)] = float(rtt)
+        self._known.add(dc)
 
     def sorted_rtts_from(self, dc: str) -> list[Tuple[str, float]]:
         """(other_dc, rtt) pairs sorted by distance — used by tests/benches."""
@@ -153,7 +198,8 @@ class NetworkStats:
     messages_dropped: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
     #: why messages were dropped: "dc-failure", "partition", "node-failure",
-    #: "link-policy", "random", "unknown-destination".  Previously a DC
+    #: "link-policy", "random", "unknown-destination", "unknown-source"
+    #: (a deregistered node's residual timer fired).  Previously a DC
     #: outage and a partition were indistinguishable in the totals.
     dropped_by_reason: Dict[str, int] = field(default_factory=dict)
 
@@ -231,10 +277,76 @@ class Network:
     # Registration and lookup
     # ------------------------------------------------------------------
     def register(self, node: "NodeLike") -> None:
-        """Attach a node; its ``node_id`` must be unique."""
+        """Attach a node; its ``node_id`` must be unique.
+
+        Registration is a *runtime* operation: nodes may join long after
+        construction (elastic membership).  Two guarantees make that safe:
+
+        * the node's data center must be known to the latency model (see
+          :meth:`add_datacenter`) — previously a node in an unknown DC
+          registered silently, exchanged intra-DC traffic below the RTT
+          model, and bypassed every DC-keyed fault (outages, partitions,
+          link policies all match on the DC name), surfacing only as a
+          mid-simulation crash on its first cross-DC send;
+        * every fault already in force applies immediately — fault state
+          is keyed by DC name and node id, never by registration-time
+          snapshots, so a late registrant inherits active outages,
+          partitions, group splits, link policies and node crashes.
+        """
         if node.node_id in self._nodes:
             raise SimulationError(f"duplicate node id {node.node_id!r}")
+        if not self.latency.knows_datacenter(node.dc):
+            raise SimulationError(
+                f"node {node.node_id!r} registered in unknown data center "
+                f"{node.dc!r}; call add_datacenter() first"
+            )
         self._nodes[node.node_id] = node
+
+    def deregister(self, node_id: str) -> None:
+        """Detach a node (a decommissioned replica).
+
+        Subsequent traffic to it drops as ``unknown-destination``; a
+        standing per-node failure entry is cleared so the id can be
+        reused by a later (re-)join.  Deregistering an unknown id is a
+        no-op — decommission races heal_all in chaos schedules.
+        """
+        if self._nodes.pop(node_id, None) is None:
+            return
+        self._failed_nodes.discard(node_id)
+        self._notify("node-deregistered", node_id=node_id)
+
+    def reset_datacenter_faults(self, dc: str) -> None:
+        """Clear fault state keyed to ``dc``'s *name* (elastic rejoins).
+
+        Fault state is DC-name-keyed, so a data center that failed, was
+        decommissioned, and later rejoins under the same name would
+        inherit its dead predecessor's outage and link faults — the
+        DC-level analogue of :meth:`deregister` clearing per-node failure
+        entries for id reuse.  Lifts a standing outage, pairwise
+        partitions and degraded links involving ``dc``; an N-way group
+        split is left alone (the rejoined DC lands in the implicit
+        remainder group, as documented for late registrants).
+        """
+        self.recover_datacenter(dc)
+        for pair in sorted(self._partitions, key=sorted):
+            if dc in pair:
+                self.heal_partition(*pair)
+        for pair in sorted(self._link_policies, key=sorted):
+            if dc in pair:
+                self.clear_link_policy(*pair)
+
+    def add_datacenter(self, dc: str, rtts: Dict[str, float]) -> None:
+        """Wire a brand-new data center into the fabric at runtime.
+
+        Delegates link setup to the latency model and announces the
+        expansion to fault-event subscribers.  Nodes for ``dc`` can be
+        registered once this returns; all DC-keyed fault state applies to
+        them like any other DC (there is nothing to inherit — a new DC
+        starts fault-free, but e.g. a group split listing only old DCs
+        puts it in the implicit remainder group).
+        """
+        self.latency.add_datacenter(dc, rtts)
+        self._notify("dc-registered", dc=dc, links=len(rtts))
 
     def node(self, node_id: str) -> "NodeLike":
         return self._nodes[node_id]
@@ -252,7 +364,12 @@ class Network:
     def send(self, src_id: str, dst_id: str, message: object) -> None:
         """Send ``message`` from ``src_id`` to ``dst_id`` (fire and forget)."""
         self.stats.note_sent(message)
-        src = self._nodes[src_id]
+        src = self._nodes.get(src_id)
+        if src is None:
+            # A deregistered (decommissioned) node's residual timers may
+            # still fire; its sends go nowhere — the process is gone.
+            self.stats.note_dropped("unknown-source")
+            return
         dst = self._nodes.get(dst_id)
         if dst is None:
             self.stats.note_dropped("unknown-destination")

@@ -85,3 +85,28 @@ class RecordStore:
     def count(self, table: str) -> int:
         """Number of live records in ``table``."""
         return sum(1 for _ in self.scan(table))
+
+    def snapshot(
+        self,
+    ) -> Iterator[Tuple[str, str, Snapshot, Tuple[str, ...]]]:
+        """Deterministic full-store dump for replica bootstrap.
+
+        Yields ``(table, key, snapshot, applied_ids)`` with tables and
+        keys in sorted order, so two dumps of equal stores are equal
+        element-for-element regardless of insertion order.  Unlike
+        :meth:`scan`, tombstoned records ARE included (``exists=False``
+        with their version) — a joining replica must learn deletes, or a
+        resurrected stale version could pass its validRead check.  Records
+        that never committed anything (version 0) are skipped: they carry
+        no adoptable state.  ``applied_ids`` is sorted for the same
+        determinism guarantee.
+        """
+        for table in sorted(self._tables):
+            records = self._tables[table]
+            for key in sorted(records):
+                record = records[key]
+                if record.current_version == 0:
+                    continue
+                yield table, key, record.snapshot(), tuple(
+                    sorted(record.applied_ids)
+                )

@@ -31,11 +31,12 @@ class LogEntry:
 
 
 class WriteAheadLog:
-    """Append-only log with LSN-ordered iteration and replay."""
+    """Append-only log with LSN-ordered iteration, checkpoints and replay."""
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
         self._next_lsn = 1
+        self._checkpoints: List[int] = []
 
     def append(self, kind: str, **payload: Any) -> LogEntry:
         """Durably record an entry; returns it with its assigned LSN."""
@@ -76,8 +77,41 @@ class WriteAheadLog:
             count += 1
         return count
 
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Record a checkpoint cut at the current tail; returns the cut LSN.
+
+        The cut is a *consistency marker*: everything at or below it is
+        covered by whatever state accompanies the checkpoint (a store
+        snapshot, for the elastic-membership bootstrap), and
+        :meth:`entries_since` of the cut is exactly the suffix a consumer
+        of that state still has to obtain.  Checkpointing an empty log
+        returns 0.  The cut is stable: later appends do not move it.
+        """
+        cut = self.last_lsn
+        self._checkpoints.append(cut)
+        return cut
+
+    @property
+    def checkpoints(self) -> List[int]:
+        """Every recorded cut, oldest first (copies; callers may mutate)."""
+        return list(self._checkpoints)
+
+    @property
+    def last_checkpoint(self) -> int:
+        """The most recent cut LSN (0 if no checkpoint was ever taken)."""
+        return self._checkpoints[-1] if self._checkpoints else 0
+
     def truncate_through(self, lsn: int) -> int:
-        """Discard entries with LSN <= ``lsn`` (checkpointing); count removed."""
+        """Discard entries with LSN <= ``lsn`` (checkpointing); count removed.
+
+        LSNs are never reused: the next append still gets a strictly
+        higher LSN than anything ever written.  Checkpoint cuts at or
+        below the truncation point remain valid markers (their
+        ``entries_since`` suffix is unaffected by dropping the prefix).
+        """
         before = len(self._entries)
         self._entries = [entry for entry in self._entries if entry.lsn > lsn]
         return before - len(self._entries)

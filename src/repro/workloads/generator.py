@@ -16,7 +16,7 @@ throughput (Figure 4), and a latency time series (Figure 8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import Callable, Generator, Optional, Sequence
 
 from repro.sim.monitor import CounterSet, LatencyRecorder, TimeSeries
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import MDCCConfig
-from repro.core.messages import Visibility, VisibilityBatch
+from repro.core.messages import VisibilityBatch
 from repro.db.cluster import build_cluster
 from repro.storage.schema import Constraint, TableSchema
 

@@ -245,3 +245,120 @@ class TestParser:
         assert args.workload == "micro"
         assert args.gamma_policy == "static"
         assert args.master_policy == "hash"
+
+
+RECONFIG_SMALL = (
+    "--clients", "6",
+    "--items", "80",
+    "--warmup-s", "2",
+    "--measure-s", "16",
+    "--bucket-s", "4",
+    "--datacenters", "us-west,us-east,eu-west",
+)
+
+
+class TestReconfig:
+    def test_reconfig_dc_replace_verdict(self, capsys):
+        code, out = run_cli(capsys, "reconfig", *RECONFIG_SMALL)
+        assert code == 0  # clean invariants AND replacement admitted
+        payload = json.loads(out)
+        assert payload["schedule"] == "dc-replace"
+        assert payload["replacement_admitted"] is True
+        membership = payload["membership"]
+        assert membership["epoch"] == 2
+        assert membership["datacenters"] == ["us-west", "eu-west", "us-east-2"]
+        assert membership["quorums"] == {"n": 3, "classic": 2, "fast": 3}
+        assert payload["invariants"]["clean"] is True
+        assert payload["commits"] > 0
+
+    def test_reconfig_membership_history_ordered(self, capsys):
+        code, out = run_cli(capsys, "reconfig", *RECONFIG_SMALL)
+        assert code == 0
+        history = json.loads(out)["membership"]["history"]
+        assert [(h["event"], h["dc"]) for h in history] == [
+            ("retired", "us-east"),
+            ("join-started", "us-east-2"),
+            ("admitted", "us-east-2"),
+        ]
+
+    def test_reconfig_deterministic_across_runs(self, capsys):
+        code_a, out_a = run_cli(capsys, "reconfig", "--seed", "9", *RECONFIG_SMALL)
+        code_b, out_b = run_cli(capsys, "reconfig", "--seed", "9", *RECONFIG_SMALL)
+        assert code_a == code_b == 0
+        assert out_a == out_b  # identical JSON, byte for byte
+
+    def test_reconfig_seed_changes_output(self, capsys):
+        _, out_a = run_cli(capsys, "reconfig", "--seed", "1", *RECONFIG_SMALL)
+        _, out_b = run_cli(capsys, "reconfig", "--seed", "2", *RECONFIG_SMALL)
+        assert json.loads(out_a)["commits"] != json.loads(out_b)["commits"]
+
+    def test_reconfig_rejects_bad_membership_args(self):
+        with pytest.raises(SystemExit):
+            main(["reconfig", "--victim", "mars", *RECONFIG_SMALL])
+        with pytest.raises(SystemExit):
+            # the replacement is already a member
+            main(["reconfig", "--replacement", "eu-west", *RECONFIG_SMALL])
+        with pytest.raises(SystemExit):
+            # the donor is the victim
+            main(["reconfig", "--donor", "us-east", *RECONFIG_SMALL])
+        with pytest.raises(SystemExit):
+            # unknown DC in the membership list
+            main(["reconfig", "--datacenters", "us-west,atlantis"])
+        with pytest.raises(SystemExit):
+            # the victim hosts the reconfig control plane (first DC):
+            # failing it would stall the membership operations themselves
+            # and quietly invalidate the scenario.
+            main(["reconfig", "--victim", "us-west", *RECONFIG_SMALL])
+
+    def test_chaos_accepts_dc_replace_schedule(self, capsys):
+        # The named schedule is also replayable through the generic chaos
+        # subcommand (the harness auto-builds the cluster elastic).
+        code, out = run_cli(
+            capsys, "chaos", "dc-replace", "--clients", "5", "--items", "80",
+            "--warmup-s", "2", "--measure-s", "16", "--bucket-s", "4",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["membership"]["epoch"] == 2
+
+
+class TestSeedPlumbing:
+    """--seed reaches every experiment-running subcommand and is honored."""
+
+    def test_every_experiment_subcommand_accepts_seed(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "--seed", "9"]).seed == 9
+        assert parser.parse_args(["compare", "--seed", "9"]).seed == 9
+        assert parser.parse_args(["chaos", "dc-outage", "--seed", "9"]).seed == 9
+        assert parser.parse_args(["reconfig", "--seed", "9"]).seed == 9
+
+    def test_run_deterministic_across_runs(self, capsys):
+        code_a, out_a = run_cli(
+            capsys, "run", "--protocol", "mdcc", "--json", "--seed", "5", *SMALL
+        )
+        code_b, out_b = run_cli(
+            capsys, "run", "--protocol", "mdcc", "--json", "--seed", "5", *SMALL
+        )
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_run_seed_changes_output(self, capsys):
+        _, out_a = run_cli(
+            capsys, "run", "--protocol", "mdcc", "--json", "--seed", "1", *SMALL
+        )
+        _, out_b = run_cli(
+            capsys, "run", "--protocol", "mdcc", "--json", "--seed", "2", *SMALL
+        )
+        assert out_a != out_b
+
+    def test_compare_deterministic_across_runs(self, capsys):
+        code_a, out_a = run_cli(
+            capsys, "compare", "--protocols", "mdcc,qw3", "--json", "--seed", "3",
+            *SMALL,
+        )
+        code_b, out_b = run_cli(
+            capsys, "compare", "--protocols", "mdcc,qw3", "--json", "--seed", "3",
+            *SMALL,
+        )
+        assert code_a == code_b == 0
+        assert out_a == out_b

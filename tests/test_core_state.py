@@ -1,7 +1,5 @@
 """Unit tests for per-record acceptor state (SetCompatible & visibility)."""
 
-import pytest
-
 from repro.core.options import (
     CommutativeUpdate,
     Option,

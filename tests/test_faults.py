@@ -79,6 +79,34 @@ class TestFaultSchedule:
         with pytest.raises(ValueError):
             named_schedule("meteor-strike")
 
+    def test_dc_replace_parameterized(self):
+        schedule = named_schedule(
+            "dc-replace", victim="eu-west", replacement="eu-west-2", donor="us-east"
+        )
+        params = {
+            event.action: event.params_dict for event in schedule.sorted_events()
+        }
+        assert params["fail-dc"]["dc"] == "eu-west"
+        assert params["decommission-dc"]["dc"] == "eu-west"
+        assert params["join-dc"] == {
+            "dc": "eu-west-2", "like": "eu-west", "donor": "us-east"
+        }
+        assert schedule.needs_reconfig
+
+    def test_dc_replace_rejects_role_collisions(self):
+        with pytest.raises(ValueError):
+            named_schedule("dc-replace", victim="us-east", donor="us-east")
+        with pytest.raises(ValueError):
+            named_schedule("dc-replace", victim="us-east", replacement="us-east")
+        with pytest.raises(ValueError):
+            named_schedule("dc-replace", replacement="us-west", donor="us-west")
+
+    def test_unknown_schedule_params_rejected_cleanly(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            named_schedule("dc-outage", victim="eu-west")
+        with pytest.raises(ValueError, match="does not accept"):
+            named_schedule("dc-replace", meteor=True)
+
 
 ITEMS = TableSchema("items", constraints={"stock": Constraint(minimum=0)})
 

@@ -5,10 +5,8 @@ any node can reconstruct the transaction from the options (which carry the
 txid and the full write-set keys) and drive it to a definitive outcome.
 """
 
-import pytest
-
 from repro.core.coordinator import MDCCCoordinator
-from repro.core.options import Option, OptionStatus, PhysicalUpdate, RecordId
+from repro.core.options import Option, PhysicalUpdate, RecordId
 from repro.core.messages import ProposeFast
 from repro.db.cluster import build_cluster
 from repro.storage.schema import Constraint, TableSchema
@@ -120,7 +118,7 @@ class TestDanglingRecovery:
 
         agent = cluster.add_recovery_agent("us-west")
         fut = agent.recover("wedge-tx", records[0])
-        committed = cluster.sim.run_until(fut, limit=cluster.sim.now + 300_000)
+        cluster.sim.run_until(fut, limit=cluster.sim.now + 300_000)
         cluster.sim.run(until=cluster.sim.now + 5_000)
 
         retry = cluster.begin(injector)

@@ -1,7 +1,5 @@
 """Integration tests for standalone Classic Paxos over the simulated WAN."""
 
-import pytest
-
 from repro.paxos.classic import ClassicAcceptor, ClassicProposer
 from repro.sim.core import Simulator
 from repro.sim.network import EC2_REGIONS, LatencyModel, Network

@@ -1,7 +1,5 @@
 """Tests for §4.2 session guarantees (monotonic reads, read-your-writes)."""
 
-import pytest
-
 from repro.db.cluster import build_cluster
 from repro.db.reads import ReadSession
 from repro.storage.schema import TableSchema

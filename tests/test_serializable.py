@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.options import ReadValidation
 from repro.db.cluster import build_cluster
-from repro.storage.schema import Constraint, TableSchema
+from repro.storage.schema import TableSchema
 
 ITEMS = TableSchema("items")
 

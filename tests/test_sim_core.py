@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.core import (
-    Future,
     SimulationError,
     Simulator,
     all_of,

@@ -131,7 +131,7 @@ class TestDelivery:
     def test_stats_track_sent_and_delivered(self):
         sim, network = build()
         a = Recorder(sim, network, "a", "us-west")
-        b = Recorder(sim, network, "b", "us-east")
+        Recorder(sim, network, "b", "us-east")
         for _ in range(3):
             a.send("b", "x")
         sim.run()
@@ -495,3 +495,159 @@ class TestNodeDispatch:
         sim.run()
         assert fired == ["t"]
         assert sim.now == 15.0
+
+
+class TestRuntimeRegistration:
+    """Runtime joins: late registrants must inherit active fault state.
+
+    Fault state is keyed by DC name and node id — never by
+    registration-time snapshots — so a node that registers mid-outage,
+    mid-partition or mid-degradation is subject to the fault from its
+    first message.  These tests pin that contract for the elastic
+    membership machinery.
+    """
+
+    def test_late_registrant_inherits_dc_failure(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        network.fail_datacenter("us-east")
+        b = Recorder(sim, network, "b", "us-east")  # registers mid-outage
+        a.send("b", "x")
+        b.send("a", "y")
+        sim.run()
+        assert a.received == [] and b.received == []
+        assert network.stats.dropped_by_reason["dc-failure"] == 2
+
+    def test_late_registrant_inherits_partition(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        network.partition("us-west", "eu-west")
+        b = Recorder(sim, network, "b", "eu-west")
+        a.send("b", "x")
+        sim.run()
+        assert b.received == []
+        assert network.stats.dropped_by_reason["partition"] == 1
+
+    def test_late_registrant_inherits_link_policy(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        network.set_link_policy("us-west", "us-east", LinkPolicy(drop_rate=1.0))
+        b = Recorder(sim, network, "b", "us-east")
+        a.send("b", "x")
+        sim.run()
+        assert b.received == []
+        assert network.stats.dropped_by_reason["link-policy"] == 1
+
+    def test_late_registrant_inherits_group_split(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        network.partition_groups([["us-west"], ["us-east", "eu-west"]])
+        b = Recorder(sim, network, "b", "us-east")
+        a.send("b", "cross-group")
+        sim.run()
+        assert b.received == []
+
+    def test_pre_registered_node_failure_applies_on_registration(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        network.fail_node("b")  # the id fails before the node exists
+        b = Recorder(sim, network, "b", "us-west")
+        a.send("b", "x")
+        sim.run()
+        assert b.received == []
+
+    def test_unknown_dc_registration_rejected(self):
+        # Previously a node in an unknown DC registered silently,
+        # exchanged intra-DC traffic below the RTT model and bypassed
+        # every DC-keyed fault; now it fails fast.
+        sim, network = build()
+        with pytest.raises(SimulationError):
+            Recorder(sim, network, "ghost", "atlantis")
+
+    def test_add_datacenter_wires_links_and_notifies(self):
+        sim, network = build()
+        events = []
+        network.subscribe(lambda now, event, details: events.append((event, details)))
+        rtts = {dc: 100.0 for dc in EC2_REGIONS}
+        network.add_datacenter("us-east-2", rtts)
+        assert ("dc-registered", {"dc": "us-east-2", "links": 5}) in events
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east-2")
+        a.send("b", "hello")
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0][0] == pytest.approx(50.5)  # 100/2 + overhead
+
+    def test_add_datacenter_requires_full_coverage(self):
+        sim, network = build()
+        with pytest.raises(SimulationError):
+            network.add_datacenter("us-east-2", {"us-west": 100.0})  # partial
+
+    def test_add_datacenter_rejects_duplicates_and_bad_rtts(self):
+        sim, network = build()
+        with pytest.raises(SimulationError):
+            network.add_datacenter("us-east", {dc: 1.0 for dc in EC2_REGIONS})
+        with pytest.raises(SimulationError):
+            network.add_datacenter(
+                "new-dc", {**{dc: 100.0 for dc in EC2_REGIONS}, "us-west": -1.0}
+            )
+
+    def test_new_dc_subject_to_faults_immediately(self):
+        sim, network = build()
+        network.add_datacenter("us-east-2", {dc: 100.0 for dc in EC2_REGIONS})
+        a = Recorder(sim, network, "a", "us-west")
+        b = Recorder(sim, network, "b", "us-east-2")
+        network.fail_datacenter("us-east-2")
+        a.send("b", "x")
+        sim.run()
+        assert b.received == []
+        assert network.stats.dropped_by_reason["dc-failure"] == 1
+
+    def test_rtts_from_returns_link_profile(self):
+        sim, network = build()
+        profile = network.latency.rtts_from("us-east")
+        assert profile == {
+            "us-west": 80.0,
+            "eu-west": 90.0,
+            "ap-southeast": 260.0,
+            "ap-northeast": 170.0,
+        }
+
+
+class TestDeregistration:
+    def test_deregistered_node_traffic_drops_as_unknown(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        Recorder(sim, network, "b", "us-east")
+        network.deregister("b")
+        a.send("b", "x")
+        sim.run()
+        assert network.stats.dropped_by_reason["unknown-destination"] == 1
+        assert not network.knows("b")
+
+    def test_deregister_clears_node_failure_for_id_reuse(self):
+        sim, network = build()
+        a = Recorder(sim, network, "a", "us-west")
+        Recorder(sim, network, "b", "us-east")
+        network.fail_node("b")
+        network.deregister("b")
+        # A later join reuses the id: it must start healthy.
+        b2 = Recorder(sim, network, "b", "us-east")
+        a.send("b", "fresh")
+        sim.run()
+        assert len(b2.received) == 1
+
+    def test_deregister_unknown_id_is_noop(self):
+        sim, network = build()
+        events = []
+        network.subscribe(lambda now, event, details: events.append(event))
+        network.deregister("ghost")
+        assert events == []
+
+    def test_deregister_notifies_subscribers(self):
+        sim, network = build()
+        Recorder(sim, network, "b", "us-east")
+        events = []
+        network.subscribe(lambda now, event, details: events.append((event, details)))
+        network.deregister("b")
+        assert events == [("node-deregistered", {"node_id": "b"})]

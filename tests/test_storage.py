@@ -10,7 +10,6 @@ from repro.storage import (
     RecordStore,
     StorageError,
     TableSchema,
-    TOMBSTONE,
     WriteAheadLog,
 )
 from repro.storage.partition import stable_hash
@@ -281,3 +280,123 @@ class TestWriteAheadLog:
         payload = {"keys": [1, 2]}
         entry = wal.append("e", **payload)
         assert entry.payload == {"keys": [1, 2]}
+
+
+class TestWalCheckpoint:
+    """The checkpoint cut the elastic-membership bootstrap leans on."""
+
+    def test_checkpoint_returns_cut_lsn(self):
+        wal = WriteAheadLog()
+        for i in range(4):
+            wal.append("e", index=i)
+        assert wal.checkpoint() == 4
+        assert wal.last_checkpoint == 4
+        assert wal.checkpoints == [4]
+
+    def test_checkpoint_on_empty_log_is_zero(self):
+        wal = WriteAheadLog()
+        assert wal.checkpoint() == 0
+        assert wal.last_checkpoint == 0
+
+    def test_cut_is_stable_under_later_appends(self):
+        wal = WriteAheadLog()
+        wal.append("before")
+        cut = wal.checkpoint()
+        wal.append("after-1")
+        wal.append("after-2")
+        assert cut == 1
+        assert wal.last_checkpoint == 1
+        # entries_since(cut) is exactly the post-snapshot suffix.
+        assert [e.kind for e in wal.entries_since(cut)] == ["after-1", "after-2"]
+
+    def test_multiple_checkpoints_ordered(self):
+        wal = WriteAheadLog()
+        wal.append("a")
+        first = wal.checkpoint()
+        wal.append("b")
+        wal.append("c")
+        second = wal.checkpoint()
+        assert wal.checkpoints == [first, second] == [1, 3]
+        assert wal.last_checkpoint == second
+
+    def test_truncate_through_cut_keeps_suffix_and_lsns(self):
+        wal = WriteAheadLog()
+        for i in range(6):
+            wal.append("e", index=i)
+        cut = wal.checkpoint()
+        wal.append("post-cut")
+        removed = wal.truncate_through(cut)
+        assert removed == 6
+        assert [entry.kind for entry in wal] == ["post-cut"]
+        # The cut marker survives truncation and new LSNs stay monotonic.
+        assert wal.last_checkpoint == cut == 6
+        assert wal.append("later").lsn == 8
+
+    def test_replay_from_checkpoint(self):
+        wal = WriteAheadLog()
+        wal.append("old", index=0)
+        cut = wal.checkpoint()
+        wal.append("new", index=1)
+        wal.append("new", index=2)
+        seen = []
+        count = wal.replay(lambda entry: seen.append(entry.payload["index"]), from_lsn=cut)
+        assert count == 2
+        assert seen == [1, 2]
+
+
+class TestStoreSnapshot:
+    """Deterministic full-store iteration (the bootstrap stream source)."""
+
+    def make_store(self):
+        store = RecordStore()
+        store.register_table(
+            TableSchema("items", constraints={"stock": Constraint(minimum=0)})
+        )
+        store.register_table(TableSchema("orders"))
+        return store
+
+    def test_sorted_by_table_then_key(self):
+        store = self.make_store()
+        store.record("orders", "o2").commit_value({"qty": 2})
+        store.record("items", "z").commit_value({"stock": 1})
+        store.record("items", "a").commit_value({"stock": 2})
+        store.record("orders", "o1").commit_value({"qty": 1})
+        dump = [(table, key) for table, key, _, _ in store.snapshot()]
+        assert dump == [("items", "a"), ("items", "z"), ("orders", "o1"), ("orders", "o2")]
+
+    def test_iteration_order_independent_of_insertion_order(self):
+        a, b = self.make_store(), self.make_store()
+        for key in ("k3", "k1", "k2"):
+            a.record("items", key).commit_value({"stock": 1})
+        for key in ("k2", "k3", "k1"):
+            b.record("items", key).commit_value({"stock": 1})
+        dump_a = [(t, k, s.version) for t, k, s, _ in a.snapshot()]
+        dump_b = [(t, k, s.version) for t, k, s, _ in b.snapshot()]
+        assert dump_a == dump_b
+
+    def test_includes_tombstones_unlike_scan(self):
+        store = self.make_store()
+        store.record("items", "kept").commit_value({"stock": 1})
+        deleted = store.record("items", "gone")
+        deleted.commit_value({"stock": 2})
+        deleted.commit_delete()
+        assert [key for key, _ in store.scan("items")] == ["kept"]
+        dump = {key: snap for _, key, snap, _ in store.snapshot()}
+        assert set(dump) == {"kept", "gone"}
+        assert dump["gone"].exists is False
+        assert dump["gone"].version == 2  # the joiner learns the delete
+
+    def test_skips_never_committed_records(self):
+        store = self.make_store()
+        store.record("items", "touched")  # created lazily, never committed
+        store.record("items", "real").commit_value({"stock": 1})
+        assert [key for _, key, _, _ in store.snapshot()] == ["real"]
+
+    def test_applied_ids_sorted_and_carried(self):
+        store = self.make_store()
+        record = store.record("items", "k")
+        record.commit_value({"stock": 5}, option_id="opt-b")
+        record.commit_delta("stock", -1.0, option_id="opt-a")
+        (_, _, snap, applied_ids), = list(store.snapshot())
+        assert applied_ids == ("opt-a", "opt-b")
+        assert snap.value == {"stock": 4}

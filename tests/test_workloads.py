@@ -151,7 +151,6 @@ class TestTPCW:
         bench.populate(cluster)
         client = cluster.add_client("us-west")
         rng = cluster.rng.stream("test.wi")
-        factory = bench.transaction(cluster)
         from repro.workloads.tpcw import _Session
 
         for name in sorted(TPCW_MIX):
