@@ -14,8 +14,11 @@ against one protocol variant and asserts
   ``min_availability`` fraction of measurement buckets sees a commit, and
   commits flow again in the final bucket (post-heal).
 
-Every cell is deterministic for its seed; a verdict table is persisted to
-``benchmarks/results/`` for the CI artifact upload.
+Every cell is deterministic for its seed — across interpreters too (no
+hash-order-dependent iteration feeds the shared jitter streams).  A
+verdict table is persisted to ``benchmarks/results/`` whenever the full
+grid runs in one process; partial runs print theirs without clobbering
+the committed artifact.
 """
 
 import pytest
@@ -111,9 +114,11 @@ def test_chaos_placement_migrates_through_outage(variant):
 def test_zz_chaos_matrix_report():
     """Persist the verdict table (named to sort after the matrix cells).
 
-    The CI matrix runs one variant per leg (``-k "<variant> or
-    zz_chaos_matrix"``), so the title reflects the cells that actually ran
-    in this process, not the full grid."""
+    The title reflects the cells that actually ran in this process, and
+    the table is only *persisted* when the full grid did — a partial run
+    (CI's per-variant ``-k "<variant> or zz_chaos_matrix"`` leg, or a
+    developer's filtered run) prints its table but must not clobber the
+    committed full-grid artifact with a truncated one."""
     assert _ROWS, "matrix cells did not run"
     rows = sorted(_ROWS, key=lambda r: (r["variant"], r["schedule"]))
     variants = sorted({row["variant"] for row in rows})
@@ -125,4 +130,5 @@ def test_zz_chaos_matrix_report():
     )
     print()
     print(table)
-    save_results("chaos_matrix", table)
+    if set(variants) == set(VARIANTS) and set(schedules) == set(NAMED_SCHEDULES):
+        save_results("chaos_matrix", table)

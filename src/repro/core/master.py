@@ -657,7 +657,11 @@ class MasterRole:
             record=record,
             status=status,
         )
-        for waiter in waiters:
+        # Sorted: waiter sets iterate in hash order, which is salted per
+        # process (PYTHONHASHSEED) — and send order decides which jitter
+        # draw each message gets, so an unsorted walk here makes whole
+        # scenario runs irreproducible across processes.
+        for waiter in sorted(waiters):
             self.node.send(waiter, outcome)
 
     def _inflight(self, ms: _MasterRecordState, option_id: str) -> bool:
@@ -721,7 +725,7 @@ class MasterRole:
             # Waiterless options (adopted history) are NOT forwarded: the
             # replicas' cstructs already carry them into the new master's
             # Phase 1.
-            for waiter in ms.waiters.pop(option_id, set()):
+            for waiter in sorted(ms.waiters.pop(option_id, set())):
                 self.node.send(
                     new_master, ProposeClassic(option=option, reply_to=waiter)
                 )

@@ -205,7 +205,11 @@ class RecoveryAgent(Node):
             state.gave_up = True
             self.counters.increment("recovery.gave_up")
             return
-        for record in list(state.probed):
+        # Sorted: `probed` is a set of RecordIds whose iteration order is
+        # salted per interpreter (PYTHONHASHSEED), and send order decides
+        # which shared-stream jitter draw each message gets — an unsorted
+        # walk makes runs irreproducible across processes.
+        for record in sorted(state.probed, key=lambda r: (r.table, r.key)):
             if record in state.decisions:
                 continue
             replies = state.replies.get(record, {})

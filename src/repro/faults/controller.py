@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.coordinator import MDCCCoordinator
 from repro.core.options import RecordId
 from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.core import SimulationError
 from repro.sim.network import LinkPolicy
 from repro.storage.schema import TableSchema
 
@@ -179,7 +180,7 @@ class ChaosController:
             return
         try:
             future = manager.decommission(params["dc"])
-        except MembershipError as exc:
+        except (MembershipError, SimulationError) as exc:
             # A mis-scripted schedule (retiring a non-member, or the last
             # DC) must not crash the scenario mid-run.
             self._record(
@@ -203,7 +204,11 @@ class ChaosController:
                 like=params.get("like"),
                 donor_dc=params.get("donor"),
             )
-        except MembershipError as exc:
+        except (MembershipError, SimulationError) as exc:
+            # Beyond membership validation, join wires the new DC into the
+            # network, which rejects bad templates (a `like` clone that
+            # leaves links uncovered, a node-id collision) with
+            # SimulationError — record those as join-failed too.
             self._record("join-failed", dc=params["dc"], reason=str(exc))
             return
         future.add_done_callback(self._on_join_done)

@@ -150,6 +150,19 @@ class ReconfigManager(Node):
         donor = donor_dc if donor_dc is not None else active[0]
         if donor not in active:
             raise MembershipError(f"donor DC {donor!r} is not an active member")
+        residual = sorted(
+            node_id
+            for node_id, node in self.cluster.storage_nodes.items()
+            if node.dc == dc
+        )
+        if residual:
+            # A rejoin racing its own decommission: the old incarnation's
+            # replicas are still registered, so building new ones would
+            # collide on node ids — reject before touching anything.
+            raise MembershipError(
+                f"DC {dc!r} still has registered replicas {residual} "
+                "(decommission not finished?)"
+            )
         if not self.network.latency.knows_datacenter(dc):
             if rtts is None:
                 template = like if like is not None else donor
@@ -162,7 +175,17 @@ class ReconfigManager(Node):
             # inherit its dead predecessor's outage or link faults.
             self.network.reset_datacenter_faults(dc)
         self.membership.begin_join(dc, now)
-        node_ids = self.cluster.add_datacenter_nodes(dc)
+        try:
+            node_ids = self.cluster.add_datacenter_nodes(dc)
+        except Exception:
+            # Never strand the directory in `joining` — a stuck entry
+            # poisons replicas_for_repair() and blocks every later
+            # join of the same DC for the rest of the run.  Partitions
+            # built before a mid-loop failure must go too, or the
+            # residual-replicas guard above blocks every retry.
+            self.cluster.drop_datacenter_nodes(dc)
+            self.membership.abort_join(dc, now)
+            raise
         op = JoinOperation(
             dc=dc, donor_dc=donor, future=self.sim.future(), started_at=now
         )

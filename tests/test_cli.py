@@ -166,6 +166,38 @@ class TestChaos:
         assert code_a == code_b == 0
         assert out_a == out_b  # identical JSON, byte for byte
 
+    def test_chaos_deterministic_across_processes(self):
+        """Same seed, different interpreters => byte-identical JSON.
+
+        In-process double runs share one PYTHONHASHSEED, so they cannot
+        catch hash-order nondeterminism (e.g. iterating a set of waiter
+        ids while broadcasting — send order decides which latency-jitter
+        draw each message gets).  Running the CLI under two *different*
+        hash seeds does.  coordinator-crash is the schedule that fans an
+        OptionOutcome out to two racing recovery agents at one instant."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        outputs = []
+        for hashseed in ("1", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "chaos",
+                 "coordinator-crash", "--seed", "7", *CHAOS_SMALL],
+                capture_output=True, text=True, env=env, timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        # The racy path actually ran: recovery agents decided outcomes.
+        assert payload["recovery_outcomes"]
+
     def test_chaos_seed_changes_output(self, capsys):
         _, out_a = run_cli(capsys, "chaos", "flaky-wan", "--seed", "1", *CHAOS_SMALL)
         _, out_b = run_cli(capsys, "chaos", "flaky-wan", "--seed", "2", *CHAOS_SMALL)

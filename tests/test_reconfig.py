@@ -342,13 +342,19 @@ class TestJoinEdgeCases:
         schedule = FaultSchedule("bogus-membership")
         schedule.join_dc(100.0, "us-east")          # already active
         schedule.decommission_dc(200.0, "mars")      # never a member
+        # Passes membership validation but dies wiring the network: the
+        # `like` template is unknown, so the RTT clone covers no links
+        # (a SimulationError, not a MembershipError).
+        schedule.join_dc(300.0, "new-dc", like="no-such-dc")
         controller = ChaosController(cluster, schedule)
         controller.install()
         cluster.sim.run(until=1_000.0)
+        failures = [e for e in controller.log if e["event"] == "join-failed"]
+        assert {f["dc"] for f in failures} == {"us-east", "new-dc"}
         events = {entry["event"] for entry in controller.log}
-        assert "join-failed" in events
         assert "decommission-failed" in events
         assert cluster.membership.epoch == 0
+        assert not cluster.network.latency.knows_datacenter("new-dc")
 
     def test_rejoin_after_decommission_of_same_name(self):
         """Scale-in then scale-out of the same region: the rejoined DC is
@@ -365,6 +371,28 @@ class TestJoinEdgeCases:
         assert not cluster.network.is_failed("eu-west")
         snap = cluster.read_committed("items", "i2", dc="eu-west")
         assert snap.value == {"stock": 10}
+
+    def test_rejoin_racing_own_decommission_rejected_cleanly(self):
+        """A join of a DC whose decommission hasn't dropped its replicas
+        yet must fail with MembershipError *before* mutating anything —
+        previously it got as far as node construction, crashed on the
+        duplicate node ids, and left the DC stuck in `joining` forever
+        (poisoning replicas_for_repair and blocking every later rejoin)."""
+        from repro.reconfig.directory import MembershipError
+
+        cluster = make_cluster()
+        for i in range(5):
+            cluster.load_record("items", f"i{i}", {"stock": 10})
+        future = cluster.reconfig.decommission("eu-west")
+        # Evacuations are still in flight: the old replicas are registered.
+        with pytest.raises(MembershipError, match="registered replicas"):
+            cluster.reconfig.join("eu-west")
+        assert not cluster.membership.is_joining("eu-west")
+        run_fut(cluster, future)
+        # Once the decommission finished dropping nodes, the rejoin works.
+        report = run_fut(cluster, cluster.reconfig.join("eu-west"))
+        assert report["ok"] is True, report
+        assert cluster.membership.epoch == 2
 
     def test_join_rotates_donor_when_donor_dark(self):
         cluster = make_cluster()
