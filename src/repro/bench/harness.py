@@ -23,7 +23,7 @@ from repro.db.checkers import check_constraints, check_replica_convergence
 from repro.db.cluster import build_cluster
 from repro.faults.controller import CHAOS_TABLE, ChaosController
 from repro.faults.schedule import FaultSchedule
-from repro.sim.monitor import LatencyRecorder
+from repro.metrics import LatencyRecorder
 from repro.workloads.generator import WorkloadStats
 from repro.workloads.geoshift import GeoShiftBenchmark
 from repro.workloads.micro import MicroBenchmark

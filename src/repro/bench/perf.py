@@ -1,0 +1,98 @@
+"""`repro bench`: the deterministic simulator-core performance baseline.
+
+Runs a fixed micro workload (fixed seed, fixed client/item counts) on
+each MDCC variant and emits ``BENCH_sim_core.json`` — the artifact CI
+uploads on every PR so the perf trajectory of the simulator core is
+visible over time.
+
+Every number in the artifact is **simulated-time** derived (events per
+simulated second, commits per simulated second) and therefore exactly
+reproducible: two runs at the same seed must produce byte-identical
+files, and CI asserts they do.  Wall-clock observations (how fast the
+host chewed through the event heap) go to stderr only — they vary by
+machine and would break the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.db.cluster import build_cluster
+from repro.workloads.micro import MicroBenchmark
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "render_bench_json"]
+
+BENCH_SCHEMA = "bench_sim_core/v1"
+
+#: the fixed workload; changing any of these is a schema bump.
+_DEFAULTS = dict(
+    clients=20,
+    items=500,
+    warmup_ms=5_000.0,
+    measure_ms=20_000.0,
+    partitions_per_table=2,
+    min_stock=500,
+    max_stock=1_000,
+)
+
+_VARIANTS = ("mdcc", "fast", "multi")
+
+
+def _bench_one(protocol: str, seed: int, params: Dict) -> Dict[str, object]:
+    cluster = build_cluster(
+        protocol,
+        seed=seed,
+        partitions_per_table=params["partitions_per_table"],
+    )
+    bench = MicroBenchmark(
+        num_items=params["items"],
+        min_stock=params["min_stock"],
+        max_stock=params["max_stock"],
+    )
+    wall_start = time.perf_counter()
+    stats, _pool = bench.run(
+        cluster,
+        num_clients=params["clients"],
+        warmup_ms=params["warmup_ms"],
+        measure_ms=params["measure_ms"],
+    )
+    wall_s = time.perf_counter() - wall_start
+    events = cluster.sim.events_processed
+    sim_ms = cluster.sim.now
+    measure_s = params["measure_ms"] / 1_000.0
+    print(
+        f"[bench] {protocol}: {events} events in {wall_s:.2f}s wall "
+        f"({events / wall_s:,.0f} events/wall-s — advisory, machine-dependent)",
+        file=sys.stderr,
+    )
+    return {
+        "aborts": stats.aborts,
+        "commits": stats.commits,
+        "commits_per_sim_s": round(stats.commits / measure_s, 3),
+        "events": events,
+        "events_per_sim_s": round(events / (sim_ms / 1_000.0), 3),
+        "sim_ms": round(sim_ms, 3),
+    }
+
+
+def run_bench(seed: int = 1, overrides: Optional[Dict] = None) -> Dict[str, object]:
+    """The artifact payload: deterministic for a given seed + params."""
+    params = dict(_DEFAULTS)
+    if overrides:
+        params.update(overrides)
+    return {
+        "params": params,
+        "results": {
+            protocol: _bench_one(protocol, seed, params) for protocol in _VARIANTS
+        },
+        "schema": BENCH_SCHEMA,
+        "seed": seed,
+    }
+
+
+def render_bench_json(payload: Dict[str, object]) -> str:
+    """The canonical byte form: sorted keys, two-space indent, newline."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -140,6 +140,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", choices=PROTOCOLS, default="mdcc", help="protocol to run"
     )
     run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument(
+        "--transport",
+        choices=("sim", "tcp"),
+        default="sim",
+        help="sim (deterministic, default) or tcp (live local cluster; "
+        "needs --topology)",
+    )
+    run.add_argument(
+        "--topology",
+        default=None,
+        help="tcp only: topology file (see `repro topology` to generate one)",
+    )
+    run.add_argument(
+        "--spawn-servers",
+        action="store_true",
+        help="tcp only: launch `repro serve` subprocesses for every "
+        "topology node, shut them down afterwards",
+    )
+    run.add_argument(
+        "--txns-per-client",
+        type=int,
+        default=10,
+        help="tcp only: transactions each driver client issues",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one storage node as a real process over asyncio TCP",
+        description="Hosts a single MDCC storage node listening on its "
+        "topology address.  One process per node; shut down with SIGTERM "
+        "or a transport-level shutdown control frame (the driver sends "
+        "one when --spawn-servers is used).",
+    )
+    serve.add_argument("--topology", required=True, help="topology JSON file")
+    serve.add_argument("--node", required=True, help="node id to host")
+
+    topo = sub.add_parser(
+        "topology",
+        help="generate a loopback topology file for the TCP backend",
+    )
+    topo.add_argument("--out", required=True, help="output path")
+    topo.add_argument(
+        "--datacenters",
+        type=_datacenter_list,
+        default=("us-west", "us-east", "eu-west"),
+    )
+    topo.add_argument(
+        "--protocol", choices=("mdcc", "fast", "multi"), default="mdcc"
+    )
+    topo.add_argument("--partitions", type=int, default=1)
+    topo.add_argument("--seed", type=int, default=1)
+    topo.add_argument("--codec", choices=("json", "msgpack"), default="json")
+    topo.add_argument("--base-port", type=int, default=7100)
+    topo.add_argument("--items", type=int, default=200)
+
+    bench = sub.add_parser(
+        "bench",
+        help="deterministic simulator-core perf baseline (BENCH_sim_core.json)",
+        description="Runs a fixed micro workload on every MDCC variant and "
+        "emits simulated events/sec + commits/sec.  Byte-identical across "
+        "runs at the same seed; wall-clock numbers go to stderr only.",
+    )
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--output",
+        default="BENCH_sim_core.json",
+        help="artifact path ('-' for stdout)",
+    )
+    bench.add_argument(
+        "--measure-s",
+        type=float,
+        default=None,
+        help="override the fixed measurement window (changes the artifact!)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run several protocols on the identical workload"
@@ -508,6 +582,63 @@ def _print_table(results: List[ExperimentResult]) -> None:
         )
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.transport.runner import serve_node
+
+    return serve_node(args.topology, args.node)
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    from repro.transport.topology import make_local_topology
+
+    topology = make_local_topology(
+        datacenters=args.datacenters,
+        protocol=args.protocol,
+        partitions_per_table=args.partitions,
+        seed=args.seed,
+        codec=args.codec,
+        base_port=args.base_port,
+        items=args.items,
+    )
+    topology.dump(args.out)
+    print(f"wrote {args.out} ({len(topology.nodes)} nodes)")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench.perf import render_bench_json, run_bench
+
+    overrides = None
+    if args.measure_s is not None:
+        overrides = {"measure_ms": args.measure_s * 1_000.0}
+    payload = render_bench_json(run_bench(seed=args.seed, overrides=overrides))
+    if args.output == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _run_tcp(args: argparse.Namespace) -> int:
+    from repro.transport.runner import run_tcp_workload
+
+    if args.topology is None:
+        raise SystemExit("--transport tcp requires --topology (see `repro topology`)")
+    if args.workload != "micro":
+        raise SystemExit("the tcp transport currently drives the micro workload only")
+    result = run_tcp_workload(
+        args.topology,
+        clients=args.clients,
+        transactions_per_client=args.txns_per_client,
+        spawn_servers=args.spawn_servers,
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    ok = result["committed"] > 0 and not result.get("servers_killed")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -516,6 +647,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_chaos(args)
     if args.command == "reconfig":
         return _run_reconfig(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "topology":
+        return _run_topology(args)
+    if args.command == "bench":
+        return _run_bench(args)
+    if args.command == "run" and args.transport == "tcp":
+        return _run_tcp(args)
     if args.command == "run":
         result = _run_one(args.protocol, args)
         if args.json:

@@ -35,10 +35,8 @@ from repro.core.config import MDCCConfig
 from repro.core.messages import CatchUp, RepairProbe, RepairReply, Visibility
 from repro.core.options import RecordId
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 
 __all__ = ["AntiEntropyAgent", "SweepReport"]
 
@@ -95,8 +93,7 @@ class AntiEntropyAgent(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
@@ -104,7 +101,7 @@ class AntiEntropyAgent(Node):
         counters: Optional[CounterSet] = None,
         probe_timeout_ms: float = 1_500.0,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -133,7 +130,7 @@ class AntiEntropyAgent(Node):
         """Probe and repair every (table, key); resolves with a
         :class:`SweepReport`."""
         report = SweepReport()
-        aggregate = self.sim.future()
+        aggregate = self.future()
         pending = [len(keys)]
         if not keys:
             aggregate.resolve(report)
@@ -161,7 +158,7 @@ class AntiEntropyAgent(Node):
         probe = _Probe(
             record=record, expected=len(replicas), replicas=tuple(replicas)
         )
-        future = self.sim.future()
+        future = self.future()
         self._probes[request_id] = probe
         self._probe_futures[request_id] = future
         for replica in replicas:

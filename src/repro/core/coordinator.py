@@ -47,10 +47,8 @@ from repro.core.options import (
     Update,
 )
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 
 __all__ = ["MDCCCoordinator", "TransactionOutcome", "WriteSet"]
 
@@ -163,15 +161,14 @@ class MDCCCoordinator(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -207,7 +204,7 @@ class MDCCCoordinator(Node):
         """
         request_id = next(self._read_seq)
         request = ReadRequest(table=table, key=key, request_id=request_id)
-        future = self.sim.future()
+        future = self.future()
         self._pending_reads[request_id] = (future, request, 0)
         self._send_read(request, dc or self._home_dc())
         return future
@@ -250,14 +247,14 @@ class MDCCCoordinator(Node):
     def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
         """Run the commit protocol; resolves with a TransactionOutcome."""
         txid = txid or self.next_txid()
-        future = self.sim.future()
+        future = self.future()
         if not writeset:
             # Read-only transaction: nothing to agree on.
             outcome = TransactionOutcome(
                 txid=txid,
                 committed=True,
-                started_at=self.sim.now,
-                decided_at=self.sim.now,
+                started_at=self.now,
+                decided_at=self.now,
                 statuses={},
                 fast_path=True,
             )
@@ -270,7 +267,7 @@ class MDCCCoordinator(Node):
         for record, update in writeset.updates.items():
             if not isinstance(update, ReadValidation):
                 # Adaptive placement signal: this DC wrote this record.
-                self.placement.note_write(record, self.dc, self.sim.now)
+                self.placement.note_write(record, self.dc, self.now)
             option = Option(
                 txid=txid,
                 record=record,
@@ -283,7 +280,7 @@ class MDCCCoordinator(Node):
             txid=txid,
             options=options,
             future=future,
-            started_at=self.sim.now,
+            started_at=self.now,
         )
         self._transactions[txid] = tx
         for option in options.values():
@@ -420,7 +417,7 @@ class MDCCCoordinator(Node):
             txid=tx.txid,
             committed=committed,
             started_at=tx.started_at,
-            decided_at=self.sim.now,
+            decided_at=self.now,
             statuses=dict(tx.learned),
             fast_path=not tx.learned_via_master,
         )

@@ -388,7 +388,7 @@ class MasterRole:
             ms.pending_new_base = self._constrained_values(record, newest)
             self.node.counters.increment(f"master.recovery.{reason}")
             return
-        horizon = self.policy.classic_horizon(record, reason, self.node.sim.now)
+        horizon = self.policy.classic_horizon(record, reason, self.node.now)
         if reason == "commutative-limit" and horizon == 0:
             # One classic round refreshes the base, then fast re-opens.
             # Classic outranks fast at equal round, so the re-opened fast

@@ -33,10 +33,8 @@ from repro.core.messages import (
 )
 from repro.core.options import Option, OptionStatus, RecordId
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 
 __all__ = ["RecoveryAgent"]
 
@@ -68,15 +66,14 @@ class RecoveryAgent(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -107,7 +104,7 @@ class RecoveryAgent(Node):
             return existing.future
         state = _RecoveryState(
             txid=txid,
-            future=self.sim.future(),
+            future=self.future(),
             request_id=next(self._request_seq),
         )
         self._by_txid[txid] = state

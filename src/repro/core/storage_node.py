@@ -49,10 +49,8 @@ from repro.core.messages import (
 from repro.core.options import Option, OptionStatus, RecordId
 from repro.core.state import RecordState
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Node, Transport
 from repro.storage.store import RecordStore
 from repro.storage.wal import WriteAheadLog
 
@@ -64,15 +62,14 @@ class MDCCStorageNode(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()

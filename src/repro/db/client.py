@@ -18,7 +18,7 @@ from typing import Dict, Optional
 
 from repro.core.coordinator import WriteSet
 from repro.core.options import RecordId
-from repro.sim.core import Future
+from repro.transport.base import Future
 
 __all__ = ["Transaction"]
 

@@ -27,10 +27,12 @@ from repro.core.recovery import RecoveryAgent
 from repro.core.storage_node import MDCCStorageNode
 from repro.core.topology import ReplicaMap
 from repro.db.client import Transaction
+from repro.metrics import CounterSet
 from repro.sim.core import Simulator
-from repro.sim.monitor import CounterSet
 from repro.sim.network import EC2_REGIONS, LatencyModel, Network
 from repro.sim.rng import RngRegistry
+from repro.transport.base import Transport
+from repro.transport.simnet import SimTransport
 from repro.storage.schema import TableSchema
 
 __all__ = ["Cluster", "build_cluster", "PROTOCOLS"]
@@ -50,16 +52,18 @@ class Cluster:
     def __init__(
         self,
         protocol: str,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: CounterSet,
         rng: RngRegistry,
     ) -> None:
         self.protocol = protocol
-        self.sim = sim
-        self.network = network
+        self.transport = transport
+        # Simulator-backed deployments expose the substrate for drivers
+        # (sim.run_until, fault injection); None over other backends.
+        self.sim = getattr(transport, "sim", None)
+        self.network = getattr(transport, "network", None)
         self.placement = placement
         self.config = config
         self.counters = counters
@@ -118,8 +122,7 @@ class Cluster:
     def _make_client(self, node_id: str, dc: str):
         if self.protocol in _VARIANTS:
             return MDCCCoordinator(
-                self.sim,
-                self.network,
+                self.transport,
                 node_id,
                 dc,
                 placement=self.placement,
@@ -130,8 +133,7 @@ class Cluster:
             from repro.protocols.twopc import TwoPCCoordinator
 
             return TwoPCCoordinator(
-                self.sim,
-                self.network,
+                self.transport,
                 node_id,
                 dc,
                 placement=self.placement,
@@ -143,8 +145,7 @@ class Cluster:
 
             write_quorum = 3 if self.protocol == "qw3" else 4
             return QuorumWriteClient(
-                self.sim,
-                self.network,
+                self.transport,
                 node_id,
                 dc,
                 placement=self.placement,
@@ -156,8 +157,7 @@ class Cluster:
             from repro.protocols.megastore import MegastoreClient
 
             return MegastoreClient(
-                self.sim,
-                self.network,
+                self.transport,
                 node_id,
                 dc,
                 placement=self.placement,
@@ -169,8 +169,7 @@ class Cluster:
     def add_recovery_agent(self, dc: str, name: Optional[str] = None) -> RecoveryAgent:
         node_id = name or f"recovery-{dc}-{next(self._client_seq)}"
         return RecoveryAgent(
-            self.sim,
-            self.network,
+            self.transport,
             node_id,
             dc,
             placement=self.placement,
@@ -184,8 +183,7 @@ class Cluster:
 
         node_id = name or f"antientropy-{dc}-{next(self._client_seq)}"
         return AntiEntropyAgent(
-            self.sim,
-            self.network,
+            self.transport,
             node_id,
             dc,
             placement=self.placement,
@@ -227,8 +225,7 @@ class Cluster:
         for partition in range(self.placement.partitions_per_table):
             node_id = self.placement.storage_node_id(dc, partition)
             node = MDCCStorageNode(
-                self.sim,
-                self.network,
+                self.transport,
                 node_id,
                 dc,
                 placement=self.placement,
@@ -246,7 +243,7 @@ class Cluster:
         dropped: List[str] = []
         for node_id in sorted(self.storage_nodes):
             if self.storage_nodes[node_id].dc == dc:
-                self.network.deregister(node_id)
+                self.transport.deregister(node_id)
                 del self.storage_nodes[node_id]
                 dropped.append(node_id)
         return dropped
@@ -319,6 +316,7 @@ def build_cluster(
         rtt_matrix=rtt_matrix, jitter_sigma=jitter_sigma, rng_registry=rng
     )
     network = Network(sim, latency_model=latency, rng_registry=rng)
+    transport = SimTransport(sim, network)
     membership = None
     if elastic:
         from repro.reconfig.directory import MembershipDirectory
@@ -345,8 +343,7 @@ def build_cluster(
     counters = CounterSet()
     cluster = Cluster(
         protocol=protocol,
-        sim=sim,
-        network=network,
+        transport=transport,
         placement=placement,
         config=config,
         counters=counters,
@@ -358,8 +355,7 @@ def build_cluster(
 
         cluster.membership = membership
         cluster.reconfig = ReconfigManager(
-            sim,
-            network,
+            transport,
             f"reconfig-{membership.active[0]}",
             membership.active[0],
             cluster=cluster,
@@ -370,8 +366,7 @@ def build_cluster(
         from repro.placement.manager import PlacementManager
 
         cluster.placement_manager = PlacementManager(
-            sim,
-            network,
+            transport,
             f"placement-{placement.datacenters[0]}",
             placement.datacenters[0],
             placement=placement,
@@ -392,8 +387,7 @@ def _build_storage_nodes(cluster: Cluster) -> Dict[str, object]:
             node_id = cluster.placement.storage_node_id(dc, partition)
             if protocol in _VARIANTS:
                 node = MDCCStorageNode(
-                    cluster.sim,
-                    cluster.network,
+                    cluster.transport,
                     node_id,
                     dc,
                     placement=cluster.placement,
@@ -404,8 +398,7 @@ def _build_storage_nodes(cluster: Cluster) -> Dict[str, object]:
                 from repro.protocols.twopc import TwoPCStorageNode
 
                 node = TwoPCStorageNode(
-                    cluster.sim,
-                    cluster.network,
+                    cluster.transport,
                     node_id,
                     dc,
                     placement=cluster.placement,
@@ -416,8 +409,7 @@ def _build_storage_nodes(cluster: Cluster) -> Dict[str, object]:
                 from repro.protocols.quorumwrites import QuorumWriteStorageNode
 
                 node = QuorumWriteStorageNode(
-                    cluster.sim,
-                    cluster.network,
+                    cluster.transport,
                     node_id,
                     dc,
                     placement=cluster.placement,
@@ -428,8 +420,7 @@ def _build_storage_nodes(cluster: Cluster) -> Dict[str, object]:
                 from repro.protocols.megastore import MegastoreStorageNode
 
                 node = MegastoreStorageNode(
-                    cluster.sim,
-                    cluster.network,
+                    cluster.transport,
                     node_id,
                     dc,
                     placement=cluster.placement,

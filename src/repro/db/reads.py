@@ -30,7 +30,7 @@ from typing import Dict, List
 
 from repro.core.messages import ReadReply
 from repro.core.options import RecordId
-from repro.sim.core import Future
+from repro.transport.base import Future
 
 __all__ = ["ReadSession", "local_read", "pseudo_master_read", "quorum_read"]
 
@@ -52,7 +52,7 @@ def quorum_read(client, table: str, key: str) -> Future:
     datacenters = _nearest_first(client, placement.datacenters)
     targets = datacenters[: spec.classic_size]
     replies: List[ReadReply] = []
-    result = client.sim.future()
+    result = client.future()
 
     def on_reply(fut: Future) -> None:
         if result.done:
@@ -76,8 +76,8 @@ def pseudo_master_read(client, table: str, key: str) -> Future:
 
 def _nearest_first(client, datacenters) -> List[str]:
     """Order data centers by network distance from the client (self first)."""
-    model = client.network.latency
-    return sorted(datacenters, key=lambda dc: model.base_rtt(client.dc, dc))
+    rtt = client.transport.base_rtt
+    return sorted(datacenters, key=lambda dc: rtt(client.dc, dc))
 
 
 class ReadSession:
@@ -146,7 +146,7 @@ class ReadSession:
         visibility always lands.
         """
         record = RecordId(table, key)
-        result = self._client.sim.future()
+        result = self._client.future()
         needed = self._floor.get(record, 0)
 
         def settle(reply: ReadReply) -> None:
@@ -159,7 +159,7 @@ class ReadSession:
                 if reply.version >= needed or attempt >= max_retries:
                     settle(reply)
                     return
-                self._client.sim.schedule(
+                self._client.set_timer(
                     retry_delay_ms, quorum_attempt, attempt + 1
                 )
 

@@ -279,8 +279,7 @@ class ChaosController:
         datacenters = self.cluster.placement.datacenters
         home = datacenters[index % len(datacenters)]
         coordinator = _DanglingCoordinator(
-            self.cluster.sim,
-            self.cluster.network,
+            self.cluster.transport,
             f"chaos-crash-{index}",
             home,
             placement=self.cluster.placement,

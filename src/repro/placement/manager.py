@@ -34,10 +34,8 @@ from repro.core.config import MDCCConfig
 from repro.core.messages import MastershipTaken, StartRecovery
 from repro.core.options import RecordId
 from repro.placement.policy import MigrationPolicy
-from repro.sim.core import Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Node, Transport
 
 __all__ = ["PlacementManager"]
 
@@ -47,8 +45,7 @@ class PlacementManager(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement,
@@ -58,7 +55,7 @@ class PlacementManager(Node):
         scan_ms: float = 1_000.0,
         takeover_timeout_ms: float = 15_000.0,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         if placement.tracker is None or placement.directory is None:
             raise ValueError(
                 "PlacementManager requires a ReplicaMap built with "
@@ -101,7 +98,7 @@ class PlacementManager(Node):
     def _tick(self) -> None:
         if not self._running:
             return
-        now = self.sim.now
+        now = self.now
         self.counters.increment("placement.scans")
         for record, (target, started) in list(self._inflight.items()):
             # A takeover that never acknowledged (e.g. the target DC went
@@ -130,8 +127,8 @@ class PlacementManager(Node):
         self._timer = self.set_timer(self.scan_ms, self._tick)
 
     def _migrate(self, record: RecordId, target_dc: str) -> None:
-        self._inflight[record] = (target_dc, self.sim.now)
-        self.directory.assign(record, target_dc, self.sim.now)
+        self._inflight[record] = (target_dc, self.now)
+        self.directory.assign(record, target_dc, self.now)
         new_master = self.placement.replica_in(record, target_dc)
         self.send(
             new_master,

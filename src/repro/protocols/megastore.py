@@ -39,10 +39,8 @@ from repro.core.options import (
     Update,
 )
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 from repro.storage.store import RecordStore
 
 __all__ = ["MegastoreClient", "MegastoreStorageNode", "MASTER_DC"]
@@ -100,8 +98,7 @@ class MegastoreStorageNode(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
@@ -109,7 +106,7 @@ class MegastoreStorageNode(Node):
         counters: Optional[CounterSet] = None,
         batch_size: int = DEFAULT_BATCH,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -173,7 +170,7 @@ class MegastoreStorageNode(Node):
         if not batch:
             if self._queue:
                 # Everything left conflicted or aborted; try again.
-                self.sim.schedule(0.0, self._pump)
+                self.set_timer(0.0, self._pump)
             return
         position = self._next_position
         self._next_position += 1
@@ -286,15 +283,14 @@ class MegastoreClient(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -305,7 +301,7 @@ class MegastoreClient(Node):
 
     def read(self, table: str, key: str, dc: Optional[str] = None) -> Future:
         request_id = next(self._read_seq)
-        future = self.sim.future()
+        future = self.future()
         self._pending_reads[request_id] = future
         record = RecordId(table, key)
         replica = self.placement.replica_in(record, dc or self.dc)
@@ -319,21 +315,21 @@ class MegastoreClient(Node):
 
     def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
         txid = txid or f"{self.node_id}-tx{next(self._txid_seq)}"
-        future = self.sim.future()
+        future = self.future()
         if not writeset:
             future.resolve(
                 TransactionOutcome(
                     txid=txid,
                     committed=True,
-                    started_at=self.sim.now,
-                    decided_at=self.sim.now,
+                    started_at=self.now,
+                    decided_at=self.now,
                     statuses={},
                     fast_path=False,
                 )
             )
             return future
         updates = tuple(sorted(writeset.updates.items()))
-        self._pending_commits[txid] = (future, self.sim.now, tuple(writeset.records()))
+        self._pending_commits[txid] = (future, self.now, tuple(writeset.records()))
         master = self.placement.storage_node_id(MASTER_DC, 0)
         self.send(
             master,
@@ -352,7 +348,7 @@ class MegastoreClient(Node):
             txid=message.txid,
             committed=message.committed,
             started_at=started_at,
-            decided_at=self.sim.now,
+            decided_at=self.now,
             statuses={str(record): status for record in records},
             fast_path=False,
         )

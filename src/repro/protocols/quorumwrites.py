@@ -29,10 +29,8 @@ from repro.core.options import (
     Update,
 )
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 from repro.storage.store import RecordStore
 
 __all__ = ["QuorumWriteClient", "QuorumWriteStorageNode"]
@@ -58,15 +56,14 @@ class QuorumWriteStorageNode(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -136,8 +133,7 @@ class QuorumWriteClient(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
@@ -145,7 +141,7 @@ class QuorumWriteClient(Node):
         counters: Optional[CounterSet] = None,
         write_quorum: int = 3,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         if not 1 <= write_quorum <= placement.replication:
             raise ValueError(f"write quorum {write_quorum} out of range")
         self.placement = placement
@@ -162,7 +158,7 @@ class QuorumWriteClient(Node):
     # ------------------------------------------------------------------
     def read(self, table: str, key: str, dc: Optional[str] = None) -> Future:
         request_id = next(self._read_seq)
-        future = self.sim.future()
+        future = self.future()
         self._pending_reads[request_id] = future
         record = RecordId(table, key)
         replica = self.placement.replica_in(record, dc or self.dc)
@@ -179,20 +175,20 @@ class QuorumWriteClient(Node):
     # ------------------------------------------------------------------
     def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
         txid = txid or f"{self.node_id}-tx{next(self._txid_seq)}"
-        future = self.sim.future()
+        future = self.future()
         if not writeset:
             future.resolve(
                 TransactionOutcome(
                     txid=txid,
                     committed=True,
-                    started_at=self.sim.now,
-                    decided_at=self.sim.now,
+                    started_at=self.now,
+                    decided_at=self.now,
                     statuses={},
                     fast_path=True,
                 )
             )
             return future
-        tx = _QWTx(txid=txid, future=future, started_at=self.sim.now)
+        tx = _QWTx(txid=txid, future=future, started_at=self.now)
         self._transactions[txid] = tx
         for record, update in writeset.updates.items():
             tx.needed[record] = self.write_quorum
@@ -201,7 +197,7 @@ class QuorumWriteClient(Node):
                 txid=txid,
                 record=record,
                 update=update,
-                timestamp=self.sim.now,
+                timestamp=self.now,
                 writer=self.node_id,
             )
             self.broadcast(self.placement.replicas(record), message)
@@ -222,7 +218,7 @@ class QuorumWriteClient(Node):
                 txid=tx.txid,
                 committed=True,  # QW never aborts: no guarantees to violate
                 started_at=tx.started_at,
-                decided_at=self.sim.now,
+                decided_at=self.now,
                 statuses={
                     str(record): OptionStatus.ACCEPTED for record in tx.needed
                 },

@@ -33,10 +33,8 @@ from repro.core.options import (
     Update,
 )
 from repro.core.topology import ReplicaMap
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 from repro.storage.store import RecordStore
 from repro.storage.wal import WriteAheadLog
 
@@ -79,15 +77,14 @@ class TwoPCStorageNode(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -223,15 +220,14 @@ class TwoPCCoordinator(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         placement: ReplicaMap,
         config: MDCCConfig,
         counters: Optional[CounterSet] = None,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -246,7 +242,7 @@ class TwoPCCoordinator(Node):
     # ------------------------------------------------------------------
     def read(self, table: str, key: str, dc: Optional[str] = None) -> Future:
         request_id = next(self._read_seq)
-        future = self.sim.future()
+        future = self.future()
         self._pending_reads[request_id] = future
         record = RecordId(table, key)
         replica = self.placement.replica_in(record, dc or self.dc)
@@ -263,14 +259,14 @@ class TwoPCCoordinator(Node):
     # ------------------------------------------------------------------
     def commit(self, writeset: WriteSet, txid: Optional[str] = None) -> Future:
         txid = txid or f"{self.node_id}-tx{next(self._txid_seq)}"
-        future = self.sim.future()
+        future = self.future()
         if not writeset:
             future.resolve(
                 TransactionOutcome(
                     txid=txid,
                     committed=True,
-                    started_at=self.sim.now,
-                    decided_at=self.sim.now,
+                    started_at=self.now,
+                    decided_at=self.now,
                     statuses={},
                     fast_path=False,
                 )
@@ -280,7 +276,7 @@ class TwoPCCoordinator(Node):
             txid=txid,
             updates=writeset.updates,
             future=future,
-            started_at=self.sim.now,
+            started_at=self.now,
         )
         self._transactions[txid] = tx
         for record, update in tx.updates.items():
@@ -338,7 +334,7 @@ class TwoPCCoordinator(Node):
             txid=tx.txid,
             committed=bool(tx.decision),
             started_at=tx.started_at,
-            decided_at=self.sim.now,
+            decided_at=self.now,
             statuses={
                 str(record): (
                     OptionStatus.ACCEPTED if tx.decision else OptionStatus.REJECTED

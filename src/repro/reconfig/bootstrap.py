@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from repro.core.options import RecordId
-from repro.sim.core import Future
+from repro.transport.base import Future
 
 __all__ = [
     "DecommissionOperation",

@@ -51,10 +51,8 @@ from repro.reconfig.bootstrap import (
     PartitionTransfer,
 )
 from repro.reconfig.directory import MembershipDirectory, MembershipError
-from repro.sim.core import Future, Simulator
-from repro.sim.monitor import CounterSet
-from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.metrics import CounterSet
+from repro.transport.base import Future, Node, Transport
 
 __all__ = ["ReconfigManager"]
 
@@ -64,8 +62,7 @@ class ReconfigManager(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        transport: Transport,
         node_id: str,
         dc: str,
         cluster,
@@ -76,7 +73,7 @@ class ReconfigManager(Node):
         evac_timeout_ms: float = 12_000.0,
         replacement_rtt_ms: float = 25.0,
     ) -> None:
-        super().__init__(sim, network, node_id, dc)
+        super().__init__(transport, node_id, dc)
         self.cluster = cluster
         self.membership = membership
         self.counters = counters if counters is not None else CounterSet()
@@ -100,7 +97,7 @@ class ReconfigManager(Node):
     # ------------------------------------------------------------------
     def _record(self, event: str, **details: object) -> None:
         self.log.append(
-            {"t_ms": round(self.sim.now, 3), "event": event, **details}
+            {"t_ms": round(self.now, 3), "event": event, **details}
         )
 
     def _ae_agent(self):
@@ -139,7 +136,7 @@ class ReconfigManager(Node):
         existing = self._joins.get(dc)
         if existing is not None and not existing.done:
             return existing.future
-        now = self.sim.now
+        now = self.now
         active = self.membership.active
         # Validate BEFORE mutating anything: a join of an already-active
         # DC must not get as far as healing that DC's scheduled faults.
@@ -163,17 +160,17 @@ class ReconfigManager(Node):
                 f"DC {dc!r} still has registered replicas {residual} "
                 "(decommission not finished?)"
             )
-        if not self.network.latency.knows_datacenter(dc):
+        if not self.cluster.network.latency.knows_datacenter(dc):
             if rtts is None:
                 template = like if like is not None else donor
-                rtts = dict(self.network.latency.rtts_from(template))
+                rtts = dict(self.cluster.network.latency.rtts_from(template))
                 rtts[template] = self.replacement_rtt_ms
-            self.network.add_datacenter(dc, rtts)
+            self.cluster.network.add_datacenter(dc, rtts)
         else:
             # A rejoin under a previously used name (scale-in then
             # scale-out of the same region): the new incarnation must not
             # inherit its dead predecessor's outage or link faults.
-            self.network.reset_datacenter_faults(dc)
+            self.cluster.network.reset_datacenter_faults(dc)
         self.membership.begin_join(dc, now)
         try:
             node_ids = self.cluster.add_datacenter_nodes(dc)
@@ -187,7 +184,7 @@ class ReconfigManager(Node):
             self.membership.abort_join(dc, now)
             raise
         op = JoinOperation(
-            dc=dc, donor_dc=donor, future=self.sim.future(), started_at=now
+            dc=dc, donor_dc=donor, future=self.future(), started_at=now
         )
         self._joins[dc] = op
         for partition, target in enumerate(node_ids):
@@ -264,11 +261,11 @@ class ReconfigManager(Node):
         op.done = True
         for transfer in op.transfers:
             self._transfers.pop(transfer.request_id, None)
-        self.membership.abort_join(op.dc, self.sim.now)
+        self.membership.abort_join(op.dc, self.now)
         dropped = self.cluster.drop_datacenter_nodes(op.dc)
         self._record("join-aborted", dc=op.dc, reason=reason, dropped=len(dropped))
         self.counters.increment("reconfig.joins_aborted")
-        report = op.report(ok=False, epoch=self.membership.epoch, now=self.sim.now)
+        report = op.report(ok=False, epoch=self.membership.epoch, now=self.now)
         report["aborted"] = reason
         op.future.try_resolve(report)
 
@@ -345,8 +342,8 @@ class ReconfigManager(Node):
         if op.done:
             return
         op.done = True
-        epoch = self.membership.admit(op.dc, self.sim.now)
-        report = op.report(ok=True, epoch=epoch, now=self.sim.now)
+        epoch = self.membership.admit(op.dc, self.now)
+        report = op.report(ok=True, epoch=epoch, now=self.now)
         report["caught_up"] = caught_up
         self._record("admitted", **report)
         self.counters.increment("reconfig.joins_completed")
@@ -366,7 +363,7 @@ class ReconfigManager(Node):
         existing = self._decommissions.get(dc)
         if existing is not None and not existing.done:
             return existing.future
-        now = self.sim.now
+        now = self.now
         placement = self.cluster.placement
         evacuees = [
             RecordId(table, key)
@@ -378,7 +375,7 @@ class ReconfigManager(Node):
         op = DecommissionOperation(
             dc=dc,
             epoch=epoch,
-            future=self.sim.future(),
+            future=self.future(),
             started_at=now,
             pending=set(evacuees),
             evacuated_total=len(evacuees),
@@ -448,4 +445,4 @@ class ReconfigManager(Node):
             dropped=len(dropped),
         )
         self.counters.increment("reconfig.decommissions_completed")
-        op.future.try_resolve(op.report(dropped_nodes=dropped, now=self.sim.now))
+        op.future.try_resolve(op.report(dropped_nodes=dropped, now=self.now))

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Optional
+
+from repro.transport.base import Future, TransportError, all_of, any_of
 
 __all__ = [
     "Event",
@@ -27,9 +29,11 @@ __all__ = [
     "any_of",
 ]
 
-
-class SimulationError(RuntimeError):
-    """Raised for kernel misuse (negative delays, running a dead loop, ...)."""
+# The neutral transport layer owns Future and the misuse exception; the
+# historical names remain importable from here.  SimulationError *is*
+# TransportError, so ``except SimulationError`` keeps catching failures
+# raised by either layer.
+SimulationError = TransportError
 
 
 class Event:
@@ -57,131 +61,6 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.3f} #{self.seq} {state}>"
-
-
-class Future:
-    """A one-shot completion token.
-
-    Protocol components resolve futures when a quorum is reached, a
-    transaction commits, etc.  Client processes ``yield`` them to suspend
-    until resolution.  A future may also be *failed* with an exception, which
-    re-raises inside a waiting process.
-    """
-
-    __slots__ = ("sim", "_value", "_exception", "_done", "_callbacks")
-
-    def __init__(self, sim: "Simulator"):
-        self.sim = sim
-        self._value: Any = None
-        self._exception: Optional[BaseException] = None
-        self._done = False
-        self._callbacks: list[Callable[["Future"], None]] = []
-
-    @property
-    def done(self) -> bool:
-        return self._done
-
-    def result(self) -> Any:
-        """Return the resolved value; raise if failed or not yet done."""
-        if not self._done:
-            raise SimulationError("Future.result() called before resolution")
-        if self._exception is not None:
-            raise self._exception
-        return self._value
-
-    def resolve(self, value: Any = None) -> None:
-        """Complete the future successfully.  Resolving twice is an error."""
-        if self._done:
-            raise SimulationError("Future already resolved")
-        self._done = True
-        self._value = value
-        self._fire()
-
-    def fail(self, exc: BaseException) -> None:
-        """Complete the future with an exception."""
-        if self._done:
-            raise SimulationError("Future already resolved")
-        self._done = True
-        self._exception = exc
-        self._fire()
-
-    def try_resolve(self, value: Any = None) -> bool:
-        """Resolve if not yet done; return whether this call resolved it.
-
-        Used where several code paths race to complete the same token (e.g.
-        a quorum response and a timeout).
-        """
-        if self._done:
-            return False
-        self.resolve(value)
-        return True
-
-    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
-        """Run ``fn(self)`` when resolved (immediately if already done)."""
-        if self._done:
-            fn(self)
-        else:
-            self._callbacks.append(fn)
-
-    def _fire(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        if not self._done:
-            return "<Future pending>"
-        if self._exception is not None:
-            return f"<Future failed {self._exception!r}>"
-        return f"<Future value={self._value!r}>"
-
-
-def all_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
-    """Return a future resolving with a list of results once all resolve.
-
-    If any input fails, the aggregate fails with the first exception (in
-    resolution order).
-    """
-    futures = list(futures)
-    aggregate = Future(sim)
-    if not futures:
-        aggregate.resolve([])
-        return aggregate
-    remaining = [len(futures)]
-
-    def on_done(_fut: Future) -> None:
-        if aggregate.done:
-            return
-        if _fut._exception is not None:
-            aggregate.fail(_fut._exception)
-            return
-        remaining[0] -= 1
-        if remaining[0] == 0:
-            aggregate.resolve([f.result() for f in futures])
-
-    for fut in futures:
-        fut.add_done_callback(on_done)
-    return aggregate
-
-
-def any_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
-    """Return a future resolving with the first completed input's result."""
-    futures = list(futures)
-    if not futures:
-        raise SimulationError("any_of() requires at least one future")
-    aggregate = Future(sim)
-
-    def on_done(fut: Future) -> None:
-        if aggregate.done:
-            return
-        if fut._exception is not None:
-            aggregate.fail(fut._exception)
-        else:
-            aggregate.resolve(fut.result())
-
-    for fut in futures:
-        fut.add_done_callback(on_done)
-    return aggregate
 
 
 class Process:

@@ -1,83 +1,32 @@
-"""Actor base class for protocol participants.
+"""Actor base class for simulator-bound participants.
 
-Every protocol role in the reproduction — MDCC storage node, master,
-app-server coordinator, 2PC participant, Megastore* replica — subclasses
-:class:`Node` and implements message handlers.  Nodes live in a data center
-and talk exclusively through the :class:`~repro.sim.network.Network`, which
-is what makes the wide-area behaviour (and failures) observable.
+The transport-neutral actor base now lives in
+:class:`repro.transport.base.Node`; protocol roles subclass that and take
+a :class:`~repro.transport.base.Transport`.  This module keeps the
+historical ``Node(sim, network, node_id, dc)`` constructor for test
+doubles and legacy components that are written directly against the
+simulator — it wraps the pair in a :class:`~repro.transport.simnet.SimTransport`
+and exposes the familiar ``self.sim`` / ``self.network`` attributes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
-
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Simulator
 from repro.sim.network import Network
+from repro.transport.base import Node as TransportNode
+from repro.transport.base import _snake_case  # noqa: F401 - re-export
+from repro.transport.simnet import SimTransport
 
 __all__ = ["Node"]
 
 
-class Node:
-    """A simulated machine: unique id, home data center, message dispatch.
+class Node(TransportNode):
+    """A simulated machine addressed as ``Node(sim, network, node_id, dc)``.
 
-    Message dispatch convention: ``on_message`` looks up a handler method
-    named ``handle_<TypeName>`` (snake-cased message class name) and calls
-    it as ``handler(message, src_id)``.  Unhandled messages raise — silence
-    hides protocol bugs.
+    See :class:`repro.transport.base.Node` for the dispatch convention.
     """
 
     def __init__(self, sim: Simulator, network: Network, node_id: str, dc: str) -> None:
+        super().__init__(SimTransport(sim, network), node_id, dc)
         self.sim = sim
         self.network = network
-        self.node_id = node_id
-        self.dc = dc
-        self._handler_cache: Dict[type, Optional[Callable]] = {}
-        network.register(self)
-
-    # ------------------------------------------------------------------
-    # Messaging
-    # ------------------------------------------------------------------
-    def send(self, dst_id: str, message: object) -> None:
-        """Send a message over the network (latency applies)."""
-        self.network.send(self.node_id, dst_id, message)
-
-    def broadcast(self, dst_ids, message: object) -> int:
-        """Send ``message`` to every destination in ``dst_ids``."""
-        return self.network.broadcast(self.node_id, dst_ids, message)
-
-    def on_message(self, message: object, src_id: str) -> None:
-        handler = self._resolve_handler(type(message))
-        if handler is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} {self.node_id!r} has no handler for "
-                f"{type(message).__name__}"
-            )
-        handler(message, src_id)
-
-    def _resolve_handler(self, message_type: type) -> Optional[Callable]:
-        if message_type not in self._handler_cache:
-            name = "handle_" + _snake_case(message_type.__name__)
-            self._handler_cache[message_type] = getattr(self, name, None)
-        return self._handler_cache[message_type]
-
-    # ------------------------------------------------------------------
-    # Timers
-    # ------------------------------------------------------------------
-    def set_timer(self, delay: float, callback: Callable, *args: Any) -> Event:
-        """Schedule a local callback; returns a cancellable handle."""
-        return self.sim.schedule(delay, callback, *args)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<{type(self).__name__} {self.node_id} @ {self.dc}>"
-
-
-def _snake_case(name: str) -> str:
-    out = []
-    for index, char in enumerate(name):
-        if char.isupper() and index > 0 and (
-            not name[index - 1].isupper()
-            or (index + 1 < len(name) and not name[index + 1].isupper())
-        ):
-            out.append("_")
-        out.append(char.lower())
-    return "".join(out)

@@ -1,0 +1,19 @@
+"""Pluggable transports for the MDCC protocol stack.
+
+* :mod:`repro.transport.base` — the interface and the actor base class.
+* :mod:`repro.transport.simnet` — deterministic discrete-event backend.
+* :mod:`repro.transport.tcp` — one OS process per node over asyncio TCP.
+* :mod:`repro.transport.codec` — wire codec for the message dataclasses.
+* :mod:`repro.transport.topology` — cluster topology files for `repro serve`.
+"""
+
+from repro.transport.base import Future, Node, Transport, TransportError, all_of, any_of
+
+__all__ = [
+    "Future",
+    "Node",
+    "Transport",
+    "TransportError",
+    "all_of",
+    "any_of",
+]

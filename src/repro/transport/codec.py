@@ -1,0 +1,242 @@
+"""Wire codec for the protocol message dataclasses.
+
+The TCP backend ships the same frozen dataclasses the simulator delivers
+by reference.  Encoding is a tagged recursive transform to plain
+JSON/msgpack-compatible values:
+
+* a registered dataclass ``T(f1=..., f2=...)`` becomes
+  ``{"__k": "T", "f": {encoded fields}}``;
+* a tuple becomes ``{"__t": [...]}`` (tuple-ness must survive the trip —
+  frozen dataclasses hash their tuple fields);
+* an :class:`~repro.core.options.OptionStatus` becomes ``{"__e": value}``;
+* a :class:`~repro.paxos.cstruct.CStruct` becomes ``{"__c": [commands]}``;
+* ``None``/``bool``/``int``/``float``/``str`` pass through; lists map
+  element-wise; dicts (string keys only) map value-wise.
+
+**Registration is explicit.**  :data:`MESSAGE_TYPES` must list every
+class in :mod:`repro.core.messages`; the codec round-trip test diffs the
+two and fails when a new message type lands without a codec entry.
+
+Two byte codecs wrap the transform: JSON (always available) and msgpack
+(the optional ``repro[transport]`` extra).  Frames on the wire are
+``4-byte big-endian length | 1 codec tag byte | payload``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Tuple, Type
+
+from repro.core import messages as _messages
+from repro.core.options import (
+    CommutativeUpdate,
+    Option,
+    OptionStatus,
+    PhysicalUpdate,
+    ReadValidation,
+    RecordId,
+)
+from repro.paxos.ballot import Ballot, BallotRange
+from repro.paxos.cstruct import CStruct
+from repro.transport.base import TransportError
+
+__all__ = [
+    "CodecError",
+    "MESSAGE_TYPES",
+    "VALUE_TYPES",
+    "decode",
+    "decode_frame_payload",
+    "encode",
+    "encode_frame_payload",
+    "resolve_codec",
+]
+
+
+class CodecError(TransportError):
+    """An object cannot be encoded, or a payload cannot be decoded."""
+
+
+#: every message class that may cross the wire — keep in lockstep with
+#: ``repro.core.messages.__all__`` (tests enforce the pairing).
+MESSAGE_TYPES: Tuple[type, ...] = (
+    _messages.CatchUp,
+    _messages.FastReply,
+    _messages.MPhase1a,
+    _messages.MPhase1b,
+    _messages.MPhase2a,
+    _messages.MPhase2b,
+    _messages.MastershipTaken,
+    _messages.OptionOutcome,
+    _messages.ProposeClassic,
+    _messages.ProposeFast,
+    _messages.ReadReply,
+    _messages.ReadRequest,
+    _messages.RepairProbe,
+    _messages.RepairReply,
+    _messages.SnapshotAck,
+    _messages.SnapshotChunk,
+    _messages.SnapshotRequest,
+    _messages.StartRecovery,
+    _messages.StatusReply,
+    _messages.StatusRequest,
+    _messages.Visibility,
+    _messages.VisibilityBatch,
+)
+
+#: value dataclasses nested inside messages.
+VALUE_TYPES: Tuple[type, ...] = (
+    Ballot,
+    BallotRange,
+    CommutativeUpdate,
+    Option,
+    PhysicalUpdate,
+    ReadValidation,
+    RecordId,
+)
+
+_REGISTRY: Dict[str, Type] = {
+    cls.__name__: cls for cls in (*MESSAGE_TYPES, *VALUE_TYPES)
+}
+
+_TAG_KEYS = frozenset({"__k", "__t", "__e", "__c", "f"})
+
+
+def encode(obj: Any) -> Any:
+    """Transform ``obj`` into JSON/msgpack-compatible values."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, OptionStatus):
+        return {"__e": obj.value}
+    if isinstance(obj, CStruct):
+        return {"__c": [encode(command) for command in obj.commands]}
+    if isinstance(obj, tuple):
+        return {"__t": [encode(item) for item in obj]}
+    if isinstance(obj, list):
+        return [encode(item) for item in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise CodecError(f"non-string dict key {key!r} is not encodable")
+            out[key] = encode(value)
+        return out
+    name = type(obj).__name__
+    cls = _REGISTRY.get(name)
+    if cls is None or type(obj) is not cls:
+        raise CodecError(
+            f"{type(obj).__module__}.{name} has no codec entry; add it to "
+            "repro.transport.codec.MESSAGE_TYPES or VALUE_TYPES"
+        )
+    fields = {
+        field.name: encode(getattr(obj, field.name))
+        for field in dataclasses.fields(obj)
+    }
+    return {"__k": name, "f": fields}
+
+
+def decode(data: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [decode(item) for item in data]
+    if isinstance(data, dict):
+        if "__e" in data:
+            return OptionStatus(data["__e"])
+        if "__c" in data:
+            return CStruct(tuple(decode(item) for item in data["__c"]))
+        if "__t" in data:
+            return tuple(decode(item) for item in data["__t"])
+        if "__k" in data:
+            cls = _REGISTRY.get(data["__k"])
+            if cls is None:
+                raise CodecError(f"unknown wire type {data['__k']!r}")
+            fields = {key: decode(value) for key, value in data["f"].items()}
+            return cls(**fields)
+        return {key: decode(value) for key, value in data.items()}
+    raise CodecError(f"cannot decode {type(data).__name__}: {data!r}")
+
+
+# ----------------------------------------------------------------------
+# Byte codecs
+# ----------------------------------------------------------------------
+class JsonCodec:
+    name = "json"
+    tag = b"J"
+
+    @staticmethod
+    def dumps(obj: Any) -> bytes:
+        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def loads(payload: bytes) -> Any:
+        return json.loads(payload.decode("utf-8"))
+
+
+class MsgpackCodec:
+    name = "msgpack"
+    tag = b"M"
+
+    def __init__(self) -> None:
+        import msgpack  # deferred: the optional [transport] extra
+
+        self._msgpack = msgpack
+
+    def dumps(self, obj: Any) -> bytes:
+        return self._msgpack.packb(obj, use_bin_type=True)
+
+    def loads(self, payload: bytes) -> Any:
+        return self._msgpack.unpackb(payload, raw=False, strict_map_key=False)
+
+
+def resolve_codec(preferred: str = "json"):
+    """Return ``(codec, warning_or_None)`` for the requested byte codec.
+
+    ``msgpack`` degrades to JSON frames with an explanatory warning when
+    the package is absent (install the ``repro[transport]`` extra for the
+    binary codec).
+    """
+    if preferred == "json":
+        return JsonCodec(), None
+    if preferred == "msgpack":
+        try:
+            return MsgpackCodec(), None
+        except ImportError:
+            return JsonCodec(), (
+                "msgpack is not installed; falling back to JSON frames. "
+                "Install the optional dependency group for binary framing: "
+                "pip install 'repro[transport]'"
+            )
+    raise CodecError(f"unknown codec {preferred!r}; choose json or msgpack")
+
+
+_CODECS_BY_TAG = {b"J": JsonCodec()}
+
+
+def encode_frame_payload(envelope: Dict[str, Any], codec) -> bytes:
+    """``codec tag byte + serialized envelope`` (length prefix added by
+    the framing layer)."""
+    return codec.tag + codec.dumps(envelope)
+
+
+def decode_frame_payload(payload: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_frame_payload`; the tag byte selects the
+    codec so mixed-codec peers fail loudly instead of garbling."""
+    if not payload:
+        raise CodecError("empty frame")
+    tag = payload[:1]
+    codec = _CODECS_BY_TAG.get(tag)
+    if codec is None:
+        if tag == b"M":
+            try:
+                codec = _CODECS_BY_TAG.setdefault(b"M", MsgpackCodec())
+            except ImportError:
+                raise CodecError(
+                    "received a msgpack frame but msgpack is not installed; "
+                    "install 'repro[transport]' or run the cluster with "
+                    "--codec json"
+                ) from None
+        else:
+            raise CodecError(f"unknown codec tag {tag!r}")
+    return codec.loads(payload[1:])

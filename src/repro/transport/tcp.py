@@ -1,0 +1,427 @@
+"""Asyncio TCP transport: one OS process per node, real sockets, wall clocks.
+
+Frames are ``4-byte big-endian length | codec tag | payload`` (see
+:mod:`repro.transport.codec`); an envelope carries ``src``/``src_dc``/
+``dst`` plus the encoded message.  Routing, in order:
+
+1. **local** — the destination is hosted by this transport: dispatch on
+   the next loop tick;
+2. **learned** — a peer we have heard from: reply down the connection its
+   frame arrived on (this is how storage nodes answer driver
+   coordinators, which have no listening address);
+3. **topology** — a configured server address: lazily dial with
+   exponential backoff, queueing frames per destination until the
+   connection lands.
+
+A framing-layer **nemesis** applies per-(src DC, dst DC) link faults —
+drop / extra delay / duplicate — on the outbound path, so the PR 2 chaos
+schedules drive real processes the same way they drive the simulator.
+Control frames addressed to ``@ctrl`` administer a remote transport:
+``shutdown``, ``set_link``, ``heal``, ``ping``.
+
+Time here is wall-clock (``time.monotonic``), still reported in
+milliseconds so protocol timeouts keep their configured meaning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import struct
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, Optional, Tuple
+
+from collections import deque
+
+from repro.transport import codec as wire
+from repro.transport.base import Node, Transport, TransportError
+from repro.transport.topology import Topology
+
+__all__ = ["AsyncioTcpTransport", "LinkFault", "CTRL_DST"]
+
+CTRL_DST = "@ctrl"
+_CTRL_REPLY = "@ctrl-reply"
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+#: dial retry/backoff schedule (seconds): fast first attempts for a
+#: cluster that is still starting up, then a steady 1 s cadence.
+_BACKOFF_S = (0.05, 0.1, 0.2, 0.4, 0.8)
+_BACKOFF_MAX_S = 1.0
+_DIAL_GIVE_UP_S = 30.0
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Outbound fault policy for one (src DC, dst DC) link."""
+
+    drop_rate: float = 0.0
+    extra_latency_ms: float = 0.0
+    duplicate: bool = False
+
+
+class AsyncioTcpTransport(Transport):
+    """A per-process transport hosting one or more local nodes.
+
+    Must be created (and used) inside a running asyncio event loop; all
+    protocol callbacks execute on that loop, preserving the single-threaded
+    execution model roles were written under.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        local_dc: str,
+        listen: Optional[Tuple[str, int]] = None,
+        codec: Optional[str] = None,
+        nemesis_seed: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.local_dc = local_dc
+        self._listen = listen
+        self._codec, warning = wire.resolve_codec(codec or topology.codec)
+        if warning:
+            print(f"[transport] {warning}", file=sys.stderr)
+        #: the codec actually framing the wire (may differ from the
+        #: topology's request when msgpack degraded to JSON)
+        self.codec_name = self._codec.name
+        self._loop = asyncio.get_event_loop()
+        self._t0 = time.monotonic()
+        self._nodes: Dict[str, Node] = {}
+        #: configured peers we dialed: node_id -> writer
+        self._writers: Dict[str, asyncio.StreamWriter] = {}
+        #: peers learned from inbound frames: node_id -> (writer, src_dc)
+        self._learned: Dict[str, Tuple[asyncio.StreamWriter, str]] = {}
+        self._queues: Dict[str, Deque[bytes]] = {}
+        self._dial_tasks: Dict[str, asyncio.Task] = {}
+        self._reader_tasks: set = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._faults: Dict[Tuple[str, str], LinkFault] = {}
+        self._nemesis_rng = random.Random(
+            topology.seed if nemesis_seed is None else nemesis_seed
+        )
+        self._ctrl_seq = itertools.count(1)
+        self._ctrl_waiters: Dict[int, asyncio.Future] = {}
+        self._closed = False
+        self.shutdown_requested = asyncio.Event()
+        self.stats = {"sent": 0, "received": 0, "dropped": 0, "duplicated": 0}
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self._t0) * 1000.0
+
+    def schedule(self, delay_ms: float, callback: Callable, *args: Any):
+        if delay_ms < 0:
+            raise TransportError(f"negative delay: {delay_ms}")
+        return self._loop.call_later(delay_ms / 1000.0, callback, *args)
+
+    def register(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise TransportError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+
+    def deregister(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    def base_rtt(self, dc_a: str, dc_b: str) -> float:
+        # Advisory only (read-strategy ordering); reuse the evaluation's
+        # EC2 distance table when it knows both regions.
+        from repro.sim.network import DEFAULT_RTT_MATRIX
+
+        if dc_a == dc_b:
+            return 0.0
+        return DEFAULT_RTT_MATRIX.get(frozenset((dc_a, dc_b)), 1.0)
+
+    def send(self, src_id: str, dst_id: str, message: object) -> None:
+        if self._closed:
+            return
+        if dst_id in self._nodes:
+            # Same process: skip framing and nemesis (intra-DC loopback).
+            self._loop.call_soon(self._dispatch, dst_id, message, src_id)
+            return
+        dst_dc = self.topology.dc_of(dst_id)
+        if dst_dc is None and dst_id in self._learned:
+            dst_dc = self._learned[dst_id][1]
+        src_dc = self._nodes[src_id].dc if src_id in self._nodes else self.local_dc
+        envelope = {
+            "src": src_id,
+            "src_dc": src_dc,
+            "dst": dst_id,
+            "msg": wire.encode(message),
+        }
+        frame = self._frame(envelope)
+        fault = self._faults.get((src_dc, dst_dc)) if dst_dc else None
+        if fault is not None:
+            if fault.drop_rate and self._nemesis_rng.random() < fault.drop_rate:
+                self.stats["dropped"] += 1
+                return
+            copies = 2 if fault.duplicate else 1
+            if fault.duplicate:
+                self.stats["duplicated"] += 1
+            if fault.extra_latency_ms > 0:
+                for _ in range(copies):
+                    self._loop.call_later(
+                        fault.extra_latency_ms / 1000.0, self._transmit, dst_id, frame
+                    )
+                return
+            for _ in range(copies):
+                self._transmit(dst_id, frame)
+            return
+        self._transmit(dst_id, frame)
+
+    def broadcast(self, src_id: str, dst_ids: Iterable[str], message: object) -> int:
+        count = 0
+        for dst_id in dst_ids:
+            self.send(src_id, dst_id, message)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Open the listening socket (server processes only)."""
+        if self._listen is not None:
+            host, port = self._listen
+            self._server = await asyncio.start_server(self._on_connection, host, port)
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop dialing, close every stream."""
+        self._closed = True
+        for task in self._dial_tasks.values():
+            task.cancel()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        writers = list(self._writers.values()) + [w for w, _dc in self._learned.values()]
+        for writer in writers:
+            if not writer.is_closing():
+                writer.close()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writers.clear()
+        self._learned.clear()
+        self._queues.clear()
+
+    # ------------------------------------------------------------------
+    # Nemesis
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self,
+        src_dc: str,
+        dst_dc: str,
+        *,
+        drop_rate: float = 0.0,
+        extra_latency_ms: float = 0.0,
+        duplicate: bool = False,
+    ) -> None:
+        """Fault every outbound frame from ``src_dc`` to ``dst_dc``.
+
+        Only frames *sent by this process* are affected; the driver pushes
+        the same fault to the relevant server processes over ``@ctrl``.
+        """
+        self._faults[(src_dc, dst_dc)] = LinkFault(
+            drop_rate=drop_rate,
+            extra_latency_ms=extra_latency_ms,
+            duplicate=duplicate,
+        )
+
+    def clear_link_fault(self, src_dc: str, dst_dc: str) -> None:
+        self._faults.pop((src_dc, dst_dc), None)
+
+    def heal_all(self) -> None:
+        self._faults.clear()
+
+    # ------------------------------------------------------------------
+    # Control channel
+    # ------------------------------------------------------------------
+    async def ctrl(self, dst_id: str, op: Dict[str, Any], timeout_s: float = 10.0):
+        """Send a control op to ``dst_id``'s transport; await its ack."""
+        req_id = next(self._ctrl_seq)
+        waiter: asyncio.Future = self._loop.create_future()
+        self._ctrl_waiters[req_id] = waiter
+        envelope = {
+            "src": f"ctrl-{id(self)}",
+            "src_dc": self.local_dc,
+            "dst": CTRL_DST,
+            "msg": {**op, "req_id": req_id},
+        }
+        try:
+            self._transmit(dst_id, self._frame(envelope))
+            return await asyncio.wait_for(waiter, timeout_s)
+        finally:
+            self._ctrl_waiters.pop(req_id, None)
+
+    def _handle_ctrl(self, envelope: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
+        op = envelope["msg"]
+        kind = op.get("op")
+        result: Dict[str, Any] = {"req_id": op.get("req_id"), "ok": True}
+        if kind == "shutdown":
+            self.shutdown_requested.set()
+        elif kind == "set_link":
+            self.set_link_fault(
+                op["src_dc"],
+                op["dst_dc"],
+                drop_rate=float(op.get("drop_rate", 0.0)),
+                extra_latency_ms=float(op.get("extra_latency_ms", 0.0)),
+                duplicate=bool(op.get("duplicate", False)),
+            )
+        elif kind == "heal":
+            self.heal_all()
+        elif kind == "ping":
+            result["now_ms"] = self.now
+            result["stats"] = dict(self.stats)
+        else:
+            result["ok"] = False
+            result["error"] = f"unknown ctrl op {kind!r}"
+        reply = {
+            "src": envelope["dst"],
+            "src_dc": self.local_dc,
+            "dst": _CTRL_REPLY,
+            "msg": result,
+        }
+        self._write_frame(writer, self._frame(reply))
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def _frame(self, envelope: Dict[str, Any]) -> bytes:
+        payload = wire.encode_frame_payload(envelope, self._codec)
+        return _LEN.pack(len(payload)) + payload
+
+    @staticmethod
+    def _write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+        if not writer.is_closing():
+            writer.write(frame)
+
+    def _transmit(self, dst_id: str, frame: bytes) -> None:
+        learned = self._learned.get(dst_id)
+        if learned is not None and not learned[0].is_closing():
+            self._write_frame(learned[0], frame)
+            self.stats["sent"] += 1
+            return
+        writer = self._writers.get(dst_id)
+        if writer is not None and not writer.is_closing():
+            self._write_frame(writer, frame)
+            self.stats["sent"] += 1
+            return
+        if dst_id in self.topology.nodes:
+            self._queues.setdefault(dst_id, deque()).append(frame)
+            if dst_id not in self._dial_tasks or self._dial_tasks[dst_id].done():
+                self._dial_tasks[dst_id] = self._loop.create_task(self._dial(dst_id))
+            return
+        # No route at all: a driver that disconnected, or a typo'd id.
+        self.stats["dropped"] += 1
+
+    async def _dial(self, dst_id: str) -> None:
+        address = self.topology.nodes[dst_id]
+        deadline = time.monotonic() + _DIAL_GIVE_UP_S
+        attempt = 0
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(address.host, address.port)
+            except (ConnectionError, OSError):
+                if time.monotonic() > deadline:
+                    dropped = len(self._queues.pop(dst_id, ()))
+                    print(
+                        f"[transport] giving up dialing {dst_id} at "
+                        f"{address.host}:{address.port} ({dropped} frames dropped)",
+                        file=sys.stderr,
+                    )
+                    return
+                backoff = _BACKOFF_S[attempt] if attempt < len(_BACKOFF_S) else _BACKOFF_MAX_S
+                attempt += 1
+                await asyncio.sleep(backoff)
+                continue
+            self._writers[dst_id] = writer
+            queue = self._queues.pop(dst_id, None)
+            if queue:
+                for frame in queue:
+                    self._write_frame(writer, frame)
+                    self.stats["sent"] += 1
+            # Replies from the peer come back on this same connection.
+            task = self._loop.create_task(self._read_frames(reader, writer))
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+            return
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._read_frames(reader, writer)
+
+    async def _read_frames(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > _MAX_FRAME:
+                    raise TransportError(f"frame of {length} bytes exceeds limit")
+                payload = await reader.readexactly(length)
+                self._on_frame(payload, writer)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            stale = [
+                peer for peer, (w, _dc) in self._learned.items() if w is writer
+            ]
+            for peer in stale:
+                del self._learned[peer]
+
+    def _on_frame(self, payload: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            envelope = wire.decode_frame_payload(payload)
+        except wire.CodecError as exc:
+            print(f"[transport] undecodable frame: {exc}", file=sys.stderr)
+            return
+        self.stats["received"] += 1
+        src = envelope.get("src", "")
+        dst = envelope.get("dst", "")
+        if src and not src.startswith("ctrl-"):
+            self._learned[src] = (writer, envelope.get("src_dc", ""))
+        if dst == CTRL_DST:
+            self._handle_ctrl(envelope, writer)
+            return
+        if dst == _CTRL_REPLY:
+            waiter = self._ctrl_waiters.get(envelope["msg"].get("req_id"))
+            if waiter is not None and not waiter.done():
+                waiter.set_result(envelope["msg"])
+            return
+        try:
+            message = wire.decode(envelope["msg"])
+        except wire.CodecError as exc:
+            print(f"[transport] undecodable message for {dst}: {exc}", file=sys.stderr)
+            return
+        self._dispatch(dst, message, src)
+
+    def _dispatch(self, dst_id: str, message: object, src_id: str) -> None:
+        node = self._nodes.get(dst_id)
+        if node is None:
+            self.stats["dropped"] += 1
+            return
+        try:
+            node.on_message(message, src_id)
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
+            print(
+                f"[transport] handler error on {dst_id} for "
+                f"{type(message).__name__}: {exc!r}",
+                file=sys.stderr,
+            )

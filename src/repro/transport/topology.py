@@ -1,0 +1,220 @@
+"""Cluster topology files for the TCP backend.
+
+``repro serve`` and ``repro run --transport tcp`` share one JSON file
+describing the deployment, so every process independently derives the
+same placement, configuration and preloaded data:
+
+.. code-block:: json
+
+    {
+      "datacenters": ["us-west", "us-east", "eu-west"],
+      "partitions_per_table": 1,
+      "protocol": "mdcc",
+      "seed": 1,
+      "codec": "json",
+      "nodes": {
+        "storage-us-west-0": {"dc": "us-west", "host": "127.0.0.1", "port": 7101}
+      },
+      "workload": {"name": "micro", "items": 200, "min_stock": 100, "max_stock": 200}
+    }
+
+``nodes`` lists only the *server* processes (one per storage node);
+driver/coordinator processes dial in and are reached over learned reply
+routes, so they need no address.  ``seed`` feeds both the data preload
+(every replica loads identical stock values) and the framing-layer
+nemesis RNG.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.core.options import RecordId
+from repro.core.topology import ReplicaMap
+from repro.sim.rng import RngRegistry
+from repro.transport.base import TransportError
+
+__all__ = ["NodeAddress", "Topology", "make_local_topology"]
+
+_VARIANTS = {
+    "mdcc": ProtocolVariant.MDCC,
+    "fast": ProtocolVariant.FAST,
+    "multi": ProtocolVariant.MULTI,
+}
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    dc: str
+    host: str
+    port: int
+
+
+@dataclass
+class Topology:
+    """A parsed topology file."""
+
+    datacenters: Tuple[str, ...]
+    nodes: Dict[str, NodeAddress]
+    protocol: str = "mdcc"
+    partitions_per_table: int = 1
+    seed: int = 1
+    codec: str = "json"
+    workload: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in _VARIANTS:
+            raise TransportError(
+                f"TCP topologies support the MDCC variants {tuple(_VARIANTS)}; "
+                f"got {self.protocol!r}"
+            )
+        for node_id, address in self.nodes.items():
+            if address.dc not in self.datacenters:
+                raise TransportError(
+                    f"node {node_id!r} lives in unknown DC {address.dc!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "Topology":
+        nodes = {
+            node_id: NodeAddress(
+                dc=spec["dc"], host=spec.get("host", "127.0.0.1"), port=int(spec["port"])
+            )
+            for node_id, spec in raw["nodes"].items()
+        }
+        return cls(
+            datacenters=tuple(raw["datacenters"]),
+            nodes=nodes,
+            protocol=raw.get("protocol", "mdcc"),
+            partitions_per_table=int(raw.get("partitions_per_table", 1)),
+            seed=int(raw.get("seed", 1)),
+            codec=raw.get("codec", "json"),
+            workload=dict(raw.get("workload", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Topology":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def as_dict(self) -> Dict:
+        return {
+            "datacenters": list(self.datacenters),
+            "partitions_per_table": self.partitions_per_table,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "codec": self.codec,
+            "nodes": {
+                node_id: {"dc": a.dc, "host": a.host, "port": a.port}
+                for node_id, a in sorted(self.nodes.items())
+            },
+            "workload": dict(self.workload),
+        }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # Derived cluster objects
+    # ------------------------------------------------------------------
+    def dc_of(self, node_id: str) -> Optional[str]:
+        address = self.nodes.get(node_id)
+        return address.dc if address else None
+
+    def build_placement(self) -> ReplicaMap:
+        return ReplicaMap(
+            self.datacenters, partitions_per_table=self.partitions_per_table
+        )
+
+    def build_config(self, config: Optional[MDCCConfig] = None) -> MDCCConfig:
+        if config is not None:
+            return config
+        return MDCCConfig(
+            replication=len(self.datacenters), variant=_VARIANTS[self.protocol]
+        )
+
+    # ------------------------------------------------------------------
+    # Workload preload
+    # ------------------------------------------------------------------
+    def item_keys(self) -> List[str]:
+        count = int(self.workload.get("items", 100))
+        return [f"item:{i:06d}" for i in range(count)]
+
+    def preload_plan(self) -> List[Tuple[str, int]]:
+        """(key, stock) for every item — identical in every process.
+
+        Mirrors :meth:`repro.workloads.micro.MicroBenchmark.populate`: the
+        ``micro.populate`` stream of the topology seed drives the stock
+        draw, so servers preloading their replicas and the driver tracking
+        its ledger agree byte-for-byte without any data transfer.
+        """
+        rng = RngRegistry(seed=self.seed).stream("micro.populate")
+        min_stock = int(self.workload.get("min_stock", 100))
+        max_stock = int(self.workload.get("max_stock", 200))
+        return [(key, rng.randint(min_stock, max_stock)) for key in self.item_keys()]
+
+    def local_records(self, node_id: str, placement: Optional[ReplicaMap] = None):
+        """(key, stock) pairs whose replica set includes ``node_id``."""
+        placement = placement or self.build_placement()
+        for key, stock in self.preload_plan():
+            if node_id in placement.replicas(RecordId("items", key)):
+                yield key, stock
+
+
+def make_local_topology(
+    datacenters=("us-west", "us-east", "eu-west"),
+    protocol: str = "mdcc",
+    partitions_per_table: int = 1,
+    seed: int = 1,
+    codec: str = "json",
+    base_port: int = 7100,
+    host: str = "127.0.0.1",
+    ports: Optional[List[int]] = None,
+    items: int = 200,
+    min_stock: int = 100,
+    max_stock: int = 200,
+) -> Topology:
+    """A loopback topology: every storage node on ``host``, sequential
+    ports from ``base_port`` (or explicit ``ports``, e.g. pre-bound free
+    ones in tests)."""
+    node_ids = [
+        ReplicaMap.storage_node_id(dc, partition)
+        for dc in datacenters
+        for partition in range(partitions_per_table)
+    ]
+    if ports is None:
+        ports = [base_port + index for index in range(len(node_ids))]
+    if len(ports) != len(node_ids):
+        raise TransportError(
+            f"{len(node_ids)} nodes need {len(node_ids)} ports; got {len(ports)}"
+        )
+    nodes = {}
+    index = 0
+    for dc in datacenters:
+        for partition in range(partitions_per_table):
+            nodes[ReplicaMap.storage_node_id(dc, partition)] = NodeAddress(
+                dc=dc, host=host, port=ports[index]
+            )
+            index += 1
+    return Topology(
+        datacenters=tuple(datacenters),
+        nodes=nodes,
+        protocol=protocol,
+        partitions_per_table=partitions_per_table,
+        seed=seed,
+        codec=codec,
+        workload={
+            "name": "micro",
+            "items": items,
+            "min_stock": min_stock,
+            "max_stock": max_stock,
+        },
+    )

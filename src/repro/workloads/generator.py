@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional, Sequence
 
-from repro.sim.monitor import CounterSet, LatencyRecorder, TimeSeries
+from repro.metrics import CounterSet, LatencyRecorder, TimeSeries
 
 __all__ = ["ClientPool", "WorkloadStats"]
 

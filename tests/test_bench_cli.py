@@ -1,0 +1,93 @@
+"""`repro bench` determinism and the new CLI subcommands.
+
+The bench artifact is the CI-uploaded perf baseline: every number is
+simulated-time derived, so two runs at the same seed must render
+byte-identical JSON (CI ``cmp``s them).  Tests use a shrunken
+measurement window — same code path, a fraction of the wall time.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import BENCH_SCHEMA, render_bench_json, run_bench
+from repro.cli import main
+
+#: full-size params take ~30s/run; this is the same path in ~2s.
+SMALL = {
+    "clients": 5,
+    "items": 60,
+    "warmup_ms": 500.0,
+    "measure_ms": 1_500.0,
+    "partitions_per_table": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return (
+        render_bench_json(run_bench(seed=3, overrides=SMALL)),
+        render_bench_json(run_bench(seed=3, overrides=SMALL)),
+    )
+
+
+def test_bench_is_byte_identical_across_runs(payloads):
+    first, second = payloads
+    assert first == second
+
+
+def test_bench_payload_shape(payloads):
+    payload = json.loads(payloads[0])
+    assert payload["schema"] == BENCH_SCHEMA
+    assert payload["seed"] == 3
+    assert set(payload["results"]) == {"mdcc", "fast", "multi"}
+    for result in payload["results"].values():
+        assert result["commits"] > 0
+        assert result["events"] > 0
+        assert result["commits_per_sim_s"] > 0
+        assert result["events_per_sim_s"] > 0
+
+
+def test_bench_differs_across_seeds():
+    first = render_bench_json(run_bench(seed=3, overrides=SMALL))
+    second = render_bench_json(run_bench(seed=4, overrides=SMALL))
+    assert first != second
+
+
+def test_bench_renders_sorted_and_newline_terminated(payloads):
+    payload = payloads[0]
+    assert payload.endswith("\n")
+    assert payload == json.dumps(json.loads(payload), indent=2, sort_keys=True) + "\n"
+
+
+def test_bench_cli_writes_artifact(tmp_path, capsys):
+    out = tmp_path / "BENCH_sim_core.json"
+    code = main(
+        ["bench", "--seed", "3", "--output", str(out), "--measure-s", "1.0"]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == BENCH_SCHEMA
+    assert payload["params"]["measure_ms"] == 1_000.0
+
+
+def test_topology_cli_writes_file(tmp_path, capsys):
+    out = tmp_path / "topo.json"
+    code = main(
+        [
+            "topology",
+            "--out",
+            str(out),
+            "--datacenters",
+            "us-west,us-east,eu-west",
+            "--base-port",
+            "7900",
+            "--items",
+            "25",
+        ]
+    )
+    assert code == 0
+    spec = json.loads(out.read_text())
+    assert spec["datacenters"] == ["us-west", "us-east", "eu-west"]
+    assert len(spec["nodes"]) == 3
+    assert spec["workload"]["items"] == 25

@@ -1,0 +1,323 @@
+"""Wire-codec round-trips for every protocol message type.
+
+The TCP backend must carry exactly what the simulator delivers by
+reference, so every class in ``repro.core.messages`` gets a handcrafted
+worst-case sample here and must survive encode → bytes → decode without
+loss.  The registry-completeness test is the tripwire from the issue:
+adding a message type to ``core/messages.py`` without a codec entry (or
+a sample below) fails the suite.
+"""
+
+import dataclasses
+import inspect
+
+import pytest
+
+from repro.core import messages
+from repro.core.options import (
+    CommutativeUpdate,
+    Option,
+    OptionStatus,
+    PhysicalUpdate,
+    ReadValidation,
+    RecordId,
+)
+from repro.paxos.ballot import Ballot, BallotRange
+from repro.paxos.cstruct import CStruct
+from repro.transport import codec
+from repro.transport.codec import (
+    CodecError,
+    JsonCodec,
+    decode,
+    decode_frame_payload,
+    encode,
+    encode_frame_payload,
+    resolve_codec,
+)
+
+RECORD = RecordId("items", "item:000042")
+BALLOT = Ballot(round=3, fast=True, proposer="master-us-east")
+CLASSIC = Ballot(round=4, fast=False, proposer="store-eu-west-p0")
+GRANT = BallotRange(start_instance=7, end_instance=None, ballot=BALLOT)
+COMMUTATIVE = Option(
+    txid="tx-17",
+    record=RECORD,
+    update=CommutativeUpdate(deltas=(("stock", -3.0), ("reserved", 1.5))),
+    writeset=(RECORD, RecordId("items", "item:000007")),
+    status=OptionStatus.PENDING,
+)
+PHYSICAL = Option(
+    txid="tx-18",
+    record=RECORD,
+    update=PhysicalUpdate(vread=9, new_value={"stock": 11, "name": "bolt"}, is_delete=False),
+    writeset=(RECORD,),
+    status=OptionStatus.ACCEPTED,
+)
+VALIDATION = Option(
+    txid="tx-19",
+    record=RECORD,
+    update=ReadValidation(vread=4),
+    writeset=(),
+    status=OptionStatus.REJECTED,
+)
+CSTRUCT = CStruct((COMMUTATIVE, PHYSICAL, VALIDATION))
+
+#: one worst-case instance per wire type — nested values, Nones, empty
+#: and populated tuples, dict payloads.
+SAMPLES = {
+    "CatchUp": messages.CatchUp(
+        record=RECORD,
+        version=12,
+        value={"stock": 140},
+        exists=True,
+        applied_ids=("opt-1", "opt-2"),
+    ),
+    "FastReply": messages.FastReply(
+        option_id="opt-9",
+        txid="tx-17",
+        record=RECORD,
+        status=OptionStatus.ACCEPTED,
+        committed_version=5,
+        is_fast_era=True,
+        master_hint="us-east",
+        epoch=2,
+    ),
+    "MPhase1a": messages.MPhase1a(record=RECORD, ballot=CLASSIC, grant=GRANT, epoch=1),
+    "MPhase1b": messages.MPhase1b(
+        record=RECORD,
+        ballot=CLASSIC,
+        granted=True,
+        promised=CLASSIC,
+        accepted_ballot=BALLOT,
+        cstruct=CSTRUCT,
+        committed_version=6,
+        committed_value={"stock": 99},
+        applied_ids=("opt-3",),
+        epoch=1,
+    ),
+    "MPhase2a": messages.MPhase2a(
+        record=RECORD,
+        ballot=CLASSIC,
+        cstruct=CSTRUCT,
+        post_grant=GRANT,
+        new_base={"stock": 120.0},
+        epoch=1,
+    ),
+    "MPhase2b": messages.MPhase2b(
+        record=RECORD,
+        ballot=CLASSIC,
+        accepted=False,
+        cstruct=None,
+        committed_version=6,
+        promised=Ballot(round=5, fast=False, proposer="other"),
+        epoch=1,
+    ),
+    "MastershipTaken": messages.MastershipTaken(
+        record=RECORD, master_dc="eu-west", node_id="store-eu-west-p0"
+    ),
+    "OptionOutcome": messages.OptionOutcome(
+        option_id="opt-9", txid="tx-17", record=RECORD, status=OptionStatus.REJECTED
+    ),
+    "ProposeClassic": messages.ProposeClassic(option=PHYSICAL, reply_to="app-us-west-1"),
+    "ProposeFast": messages.ProposeFast(
+        option=COMMUTATIVE, reply_to="app-us-west-1", epoch=3
+    ),
+    "ReadReply": messages.ReadReply(
+        request_id=41,
+        table="items",
+        key="item:000042",
+        exists=True,
+        value={"stock": 140, "name": "bolt"},
+        version=12,
+        is_fast_era=False,
+        master_hint="us-west",
+    ),
+    "ReadRequest": messages.ReadRequest(table="items", key="item:000042", request_id=41),
+    "RepairProbe": messages.RepairProbe(record=RECORD, request_id=7),
+    "RepairReply": messages.RepairReply(
+        request_id=7,
+        record=RECORD,
+        exists=False,
+        value=None,
+        version=0,
+        applied_ids=(),
+        pending=(COMMUTATIVE, VALIDATION),
+    ),
+    "SnapshotAck": messages.SnapshotAck(
+        request_id=2, node_id="store-ap-south-p0", records_adopted=40, wal_cut=17
+    ),
+    "SnapshotChunk": messages.SnapshotChunk(
+        request_id=2,
+        seq=1,
+        records=(
+            ("items", "item:000001", 3, {"stock": 101}, ("opt-1",)),
+            ("items", "item:000002", 0, None, ()),
+        ),
+        last=True,
+        wal_cut=17,
+        reply_to="store-us-west-p0",
+    ),
+    "SnapshotRequest": messages.SnapshotRequest(
+        request_id=2, target="store-ap-south-p0", reply_to="store-ap-south-p0"
+    ),
+    "StartRecovery": messages.StartRecovery(
+        record=RECORD, reason="learn-timeout", option=PHYSICAL, reply_to="app-us-west-1"
+    ),
+    "StatusReply": messages.StatusReply(
+        request_id=5,
+        txid="tx-17",
+        record=RECORD,
+        known=True,
+        status=OptionStatus.PENDING,
+        executed=False,
+        option=COMMUTATIVE,
+        writeset=(RECORD, RecordId("items", "item:000007")),
+    ),
+    "StatusRequest": messages.StatusRequest(txid="tx-17", record=RECORD, request_id=5),
+    "Visibility": messages.Visibility(option=PHYSICAL, committed=True),
+    "VisibilityBatch": messages.VisibilityBatch(
+        visibilities=(
+            messages.Visibility(option=COMMUTATIVE, committed=True),
+            messages.Visibility(option=VALIDATION, committed=False),
+        )
+    ),
+}
+
+
+def _equal(a, b):
+    """Structural equality that sees through CStruct (identity-equality
+    value object) and nested dataclass fields."""
+    if isinstance(a, CStruct) or isinstance(b, CStruct):
+        return (
+            isinstance(a, CStruct)
+            and isinstance(b, CStruct)
+            and len(a.commands) == len(b.commands)
+            and all(_equal(x, y) for x, y in zip(a.commands, b.commands))
+        )
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        return type(a) is type(b) and all(
+            _equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, (tuple, list)):
+        return (
+            isinstance(b, (tuple, list))
+            and type(a) is type(b)
+            and len(a) == len(b)
+            and all(_equal(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_equal(v, b[k]) for k, v in a.items())
+        )
+    return a == b
+
+
+def _message_classes():
+    return [
+        cls
+        for name in dir(messages)
+        if inspect.isclass(cls := getattr(messages, name))
+        and dataclasses.is_dataclass(cls)
+        and cls.__module__ == "repro.core.messages"
+    ]
+
+
+def test_registry_covers_every_message_type():
+    """A new message type without a codec entry must fail the suite."""
+    expected = {cls.__name__ for cls in _message_classes()}
+    registered = {cls.__name__ for cls in codec.MESSAGE_TYPES}
+    assert registered == expected, (
+        f"codec registry out of sync with core/messages.py: "
+        f"missing {sorted(expected - registered)}, "
+        f"stale {sorted(registered - expected)}"
+    )
+
+
+def test_every_message_type_has_a_sample():
+    expected = {cls.__name__ for cls in _message_classes()}
+    assert set(SAMPLES) == expected, (
+        "add a round-trip sample for new message types: "
+        f"{sorted(expected - set(SAMPLES))}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_round_trip_lossless(name):
+    original = SAMPLES[name]
+    restored = decode(encode(original))
+    assert _equal(restored, original)
+    assert type(restored) is type(original)
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_round_trip_through_json_frames(name):
+    original = SAMPLES[name]
+    envelope = {"src": "a", "src_dc": "us-west", "dst": "b", "msg": encode(original)}
+    payload = encode_frame_payload(envelope, JsonCodec())
+    back = decode_frame_payload(payload)
+    assert _equal(decode(back["msg"]), original)
+
+
+def test_tuples_survive_the_wire():
+    restored = decode(encode(SAMPLES["CatchUp"]))
+    assert isinstance(restored.applied_ids, tuple)
+    chunk = decode(encode(SAMPLES["SnapshotChunk"]))
+    assert isinstance(chunk.records, tuple)
+    assert isinstance(chunk.records[0], tuple)
+    assert chunk.records[1][3] is None
+
+
+def test_cstruct_and_status_round_trip():
+    msg = decode(encode(SAMPLES["MPhase1b"]))
+    assert isinstance(msg.cstruct, CStruct)
+    assert _equal(msg.cstruct, CSTRUCT)
+    assert msg.cstruct.commands[0].status is OptionStatus.PENDING
+
+
+def test_unregistered_type_is_a_loud_error():
+    @dataclasses.dataclass(frozen=True)
+    class Rogue:
+        x: int
+
+    with pytest.raises(CodecError, match="no codec entry"):
+        encode(Rogue(x=1))
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(CodecError, match="non-string dict key"):
+        encode({1: "a"})
+
+
+def test_resolve_codec_json_default():
+    byte_codec, warning = resolve_codec("json")
+    assert byte_codec.name == "json"
+    assert warning is None
+
+
+def test_resolve_codec_msgpack_degrades_without_package():
+    byte_codec, warning = resolve_codec("msgpack")
+    try:
+        import msgpack  # noqa: F401
+    except ImportError:
+        assert byte_codec.name == "json"
+        assert "repro[transport]" in warning
+    else:
+        assert byte_codec.name == "msgpack"
+        assert warning is None
+
+
+def test_msgpack_round_trip_if_available():
+    msgpack_mod = pytest.importorskip("msgpack")
+    assert msgpack_mod is not None
+    byte_codec, _ = resolve_codec("msgpack")
+    envelope = {"src": "a", "src_dc": "us-west", "dst": "b", "msg": encode(CSTRUCT)}
+    back = decode(decode_frame_payload(encode_frame_payload(envelope, byte_codec))["msg"])
+    assert _equal(back, CSTRUCT)
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(CodecError, match="unknown codec"):
+        resolve_codec("protobuf")

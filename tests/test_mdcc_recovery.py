@@ -35,8 +35,7 @@ class TestDanglingRecovery:
         cluster.load_record("items", "a", {"stock": 10})
         cluster.load_record("items", "b", {"stock": 20})
         crasher = CrashingCoordinator(
-            cluster.sim,
-            cluster.network,
+            cluster.transport,
             "crasher",
             "us-west",
             placement=cluster.placement,
@@ -133,8 +132,7 @@ class TestDanglingRecovery:
         cluster = make_cluster(seed=24)
         cluster.load_record("items", "a", {"stock": 10})
         crasher = CrashingCoordinator(
-            cluster.sim,
-            cluster.network,
+            cluster.transport,
             "crasher",
             "ap-northeast",
             placement=cluster.placement,

@@ -32,8 +32,7 @@ def dangle_transaction(cluster, txid: str, dc: str = "us-west"):
     cluster.load_record("items", "a", {"stock": 10})
     cluster.load_record("items", "b", {"stock": 20})
     crasher = CrashingCoordinator(
-        cluster.sim,
-        cluster.network,
+        cluster.transport,
         f"crasher-{txid}",
         dc,
         placement=cluster.placement,

@@ -1,0 +1,71 @@
+"""Core protocol code must be transport-neutral.
+
+The acceptance criterion from the transport issue: nothing under
+``src/repro/core/`` may import from ``repro.sim`` (or reach a simulator
+through ``self.sim``).  Role classes speak only to the
+:class:`repro.transport.base.Transport` interface, so the same code runs
+under the simulator and over asyncio TCP.
+"""
+
+import ast
+import pathlib
+
+import repro.core
+
+CORE_DIR = pathlib.Path(repro.core.__file__).parent
+FORBIDDEN_PREFIX = "repro.sim"
+
+
+def _core_sources():
+    return sorted(CORE_DIR.glob("*.py"))
+
+
+def _forbidden_imports(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.sim" or alias.name.startswith(
+                    FORBIDDEN_PREFIX + "."
+                ):
+                    hits.append(f"{path.name}:{node.lineno} import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.sim" or module.startswith(FORBIDDEN_PREFIX + "."):
+                hits.append(f"{path.name}:{node.lineno} from {module} import ...")
+    return hits
+
+
+def test_core_has_files_to_check():
+    assert len(_core_sources()) >= 5
+
+
+def test_no_sim_imports_in_core():
+    hits = [hit for path in _core_sources() for hit in _forbidden_imports(path)]
+    assert not hits, (
+        "protocol code under src/repro/core/ must not import repro.sim — "
+        "route everything through repro.transport instead:\n" + "\n".join(hits)
+    )
+
+
+def test_no_sim_attribute_access_in_core():
+    """Role classes must not reach a simulator via ``self.sim`` / ``.sim.``."""
+    hits = []
+    for path in _core_sources():
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "sim":
+                hits.append(f"{path.name}:{node.lineno} .sim attribute access")
+    assert not hits, (
+        "core protocol code must use Node.now/set_timer/future(), "
+        "not a simulator handle:\n" + "\n".join(hits)
+    )
+
+
+def test_transport_base_is_sim_free():
+    """The interface itself must not drag the simulator in either."""
+    import repro.transport.base as base
+
+    path = pathlib.Path(base.__file__)
+    assert not _forbidden_imports(path)
