@@ -1,0 +1,451 @@
+"""Typed scenario specs: the canonical programmatic entry point.
+
+Every way of running an experiment — the five CLI subcommands, the
+benchmark harness, a user script — describes *what to run* with two
+frozen dataclasses and hands them to two functions:
+
+* :class:`ClusterSpec` — the deployment: protocol, data centers,
+  partitioning, master placement, seed and the MDCC tunables the CLI
+  exposes.  :func:`build_cluster` turns one into a running cluster.
+* :class:`ScenarioSpec` — the experiment: a :class:`ClusterSpec` plus
+  workload, scale, measurement window, workload knobs and (optionally)
+  a named fault schedule.  :func:`run_scenario` executes one.
+
+Specs are frozen, validated on construction, and round-trip through
+JSON (:meth:`ScenarioSpec.to_json` / :meth:`ScenarioSpec.from_json`),
+so an experiment is a reviewable artifact: commit the JSON, re-run it
+byte-identically with ``repro run --spec scenario.json``, and find the
+same block under ``"spec"`` in every JSON result envelope.
+
+The old keyword surfaces still work: calling :func:`run_scenario` with
+a :class:`~repro.faults.schedule.FaultSchedule` first argument or
+:func:`build_cluster` with a protocol string forwards to the legacy
+implementations unchanged (same results, byte for byte) after emitting
+a :class:`DeprecationWarning`.  Knobs with no CLI syntax
+(``table_master_dc``, ``migration_policy``, ``rtt_matrix``, ...)
+remain available through those legacy keywords only.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple, Union
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ScenarioResult,
+    run_geoshift,
+    run_micro,
+    run_scenario as _legacy_run_scenario,
+    run_tpcw,
+)
+from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.db.cluster import (
+    PROTOCOLS,
+    Cluster,
+    build_cluster as _legacy_build_cluster,
+)
+from repro.faults.schedule import NAMED_SCHEDULES, FaultSchedule, named_schedule
+from repro.sim.network import EC2_REGIONS
+
+__all__ = [
+    "ClusterSpec",
+    "ScenarioSpec",
+    "build_cluster",
+    "run_scenario",
+]
+
+_VARIANTS = {
+    "mdcc": ProtocolVariant.MDCC,
+    "fast": ProtocolVariant.FAST,
+    "multi": ProtocolVariant.MULTI,
+}
+
+WORKLOADS = ("micro", "tpcw", "geoshift")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The deployment half of an experiment: what cluster to build.
+
+    Attributes:
+        protocol: any of :data:`repro.db.cluster.PROTOCOLS` — the three
+            MDCC variants or a baseline.
+        datacenters: initial membership; ``None`` means the paper's five
+            EC2 regions.
+        partitions_per_table: storage nodes per table per data center
+            (Megastore* always collapses to 1 — single entity group).
+        master_policy: ``"hash"``, ``"adaptive"`` or ``"fixed:<dc>"``;
+            ``None`` defers to the context default (``"hash"``, or a
+            fault schedule's hint).
+        seed: the experiment seed — every RNG stream derives from it.
+        gamma_policy / batch_ms / demarcation: the MDCC tunables the CLI
+            exposes (γ policy of §3.3.2, visibility batching window,
+            §3.4.2 demarcation limit).
+        elastic: build the cluster reconfigurable (runtime DC join/leave).
+    """
+
+    protocol: str = "mdcc"
+    datacenters: Optional[Tuple[str, ...]] = None
+    partitions_per_table: int = 2
+    master_policy: Optional[str] = None
+    seed: int = 1
+    gamma_policy: str = "static"
+    batch_ms: float = 0.0
+    demarcation: bool = True
+    elastic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.datacenters is not None:
+            object.__setattr__(self, "datacenters", tuple(self.datacenters))
+            if len(self.datacenters) < 2:
+                raise ValueError("need at least two data centers")
+            if len(set(self.datacenters)) != len(self.datacenters):
+                raise ValueError("duplicate data center")
+        if self.partitions_per_table < 1:
+            raise ValueError("partitions_per_table must be positive")
+        if self.master_policy == "adaptive" and self.protocol not in _VARIANTS:
+            raise ValueError(
+                "adaptive master placement requires an MDCC variant "
+                f"({', '.join(_VARIANTS)}); got {self.protocol!r}"
+            )
+        if self.elastic and self.protocol not in _VARIANTS:
+            raise ValueError(
+                "elastic membership requires an MDCC variant "
+                f"({', '.join(_VARIANTS)}); got {self.protocol!r}"
+            )
+        if self.gamma_policy not in ("static", "adaptive"):
+            raise ValueError(
+                f"unknown gamma_policy {self.gamma_policy!r}; "
+                "choose 'static' or 'adaptive'"
+            )
+        if self.batch_ms < 0:
+            raise ValueError("batch_ms must be non-negative")
+
+    @property
+    def effective_datacenters(self) -> Tuple[str, ...]:
+        return self.datacenters if self.datacenters is not None else EC2_REGIONS
+
+    @property
+    def effective_partitions(self) -> int:
+        # The paper's Megastore* places all data in a single entity group.
+        return 1 if self.protocol == "megastore" else self.partitions_per_table
+
+    def config(self) -> Optional[MDCCConfig]:
+        """The :class:`MDCCConfig` this spec describes (None for baselines)."""
+        if self.protocol not in _VARIANTS:
+            return None
+        return MDCCConfig(
+            replication=len(self.effective_datacenters),
+            variant=_VARIANTS[self.protocol],
+            gamma_policy=self.gamma_policy,
+            visibility_batch_ms=self.batch_ms,
+            demarcation_enabled=self.demarcation,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "datacenters": (
+                None if self.datacenters is None else list(self.datacenters)
+            ),
+            "partitions_per_table": self.partitions_per_table,
+            "master_policy": self.master_policy,
+            "seed": self.seed,
+            "gamma_policy": self.gamma_policy,
+            "batch_ms": self.batch_ms,
+            "demarcation": self.demarcation,
+            "elastic": self.elastic,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClusterSpec":
+        return cls(**_checked_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The experiment half: what to run on a :class:`ClusterSpec`.
+
+    Without ``schedule``, :func:`run_scenario` runs one fault-free
+    workload experiment and returns an
+    :class:`~repro.bench.harness.ExperimentResult` (``fail_dc`` injects
+    the Figure-8 single-outage exception).  With ``schedule`` — one of
+    :data:`repro.faults.schedule.NAMED_SCHEDULES` — it replays that
+    fault schedule and returns a
+    :class:`~repro.bench.harness.ScenarioResult` with the availability
+    timeline and post-heal invariant verdicts.  ``victim`` /
+    ``replacement`` / ``donor`` parameterize the ``dc-replace``
+    elastic-membership schedule only.
+    """
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    workload: Optional[str] = "micro"
+    clients: int = 25
+    items: int = 1_000
+    warmup_s: float = 5.0
+    measure_s: float = 30.0
+    hotspot: Optional[float] = None
+    locality: Optional[float] = None
+    phase_s: float = 20.0
+    audit: bool = True
+    fail_dc: Optional[str] = None
+    fail_at_s: Optional[float] = None
+    schedule: Optional[str] = None
+    bucket_s: float = 5.0
+    victim: Optional[str] = None
+    replacement: Optional[str] = None
+    donor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workload is None and self.schedule is None:
+            raise ValueError("workload is required without a fault schedule")
+        if self.workload is not None and self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {', '.join(WORKLOADS)}"
+            )
+        if self.clients < 1 or self.items < 1:
+            raise ValueError("clients and items must be positive")
+        if self.warmup_s < 0 or self.measure_s <= 0:
+            raise ValueError("warmup_s must be >= 0 and measure_s > 0")
+        if self.phase_s <= 0 or self.bucket_s <= 0:
+            raise ValueError("phase_s and bucket_s must be positive")
+        if self.workload != "micro" and (
+            self.hotspot is not None or self.locality is not None
+        ):
+            raise ValueError("hotspot/locality apply to the micro workload")
+        if self.schedule is None:
+            if self.fail_dc is not None and self.workload != "micro":
+                raise ValueError("fail_dc applies to the micro workload")
+            if self.fail_at_s is not None and self.fail_dc is None:
+                raise ValueError("fail_at_s needs fail_dc")
+            for name in ("victim", "replacement", "donor"):
+                if getattr(self, name) is not None:
+                    raise ValueError(
+                        f"{name} parameterizes the dc-replace schedule"
+                    )
+            return
+        if self.schedule not in NAMED_SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                f"choose from {', '.join(NAMED_SCHEDULES)}"
+            )
+        if self.fail_dc is not None or self.fail_at_s is not None:
+            raise ValueError("fault schedules inject their own failures")
+        if self.schedule != "dc-replace":
+            for name in ("victim", "replacement", "donor"):
+                if getattr(self, name) is not None:
+                    raise ValueError(
+                        f"{name} parameterizes the dc-replace schedule"
+                    )
+            return
+        datacenters = self.cluster.effective_datacenters
+        if self.victim is not None:
+            if self.victim not in datacenters:
+                raise ValueError(
+                    f"victim {self.victim!r} is not in the initial membership"
+                )
+            if self.victim == datacenters[0]:
+                # The reconfig control plane lives in the first DC; failing
+                # it stalls the membership operations themselves.
+                raise ValueError(
+                    f"victim {self.victim!r} hosts the reconfig control "
+                    "plane (the first listed data center); pick another "
+                    "victim or reorder the data centers"
+                )
+        if self.donor is not None and (
+            self.donor not in datacenters or self.donor == self.victim
+        ):
+            raise ValueError("donor must be a surviving member of the cluster")
+        if self.replacement is not None and self.replacement in datacenters:
+            raise ValueError(
+                f"replacement {self.replacement!r} is already a member"
+            )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"cluster": self.cluster.to_dict()}
+        for spec_field in fields(self):
+            if spec_field.name != "cluster":
+                data[spec_field.name] = getattr(self, spec_field.name)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical byte form: sorted keys, two-space indent, newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        checked = _checked_fields(cls, data)
+        cluster = checked.get("cluster")
+        if isinstance(cluster, dict):
+            checked["cluster"] = ClusterSpec.from_dict(cluster)
+        return cls(**checked)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a scenario spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+def _checked_fields(cls, data: Dict[str, object]) -> Dict[str, object]:
+    """Reject unknown keys loudly — a typo'd spec must not half-apply."""
+    known = {spec_field.name for spec_field in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}"
+        )
+    prepared = dict(data)
+    if isinstance(prepared.get("datacenters"), list):
+        prepared["datacenters"] = tuple(prepared["datacenters"])
+    return prepared
+
+
+# ----------------------------------------------------------------------
+# Canonical entry points (+ legacy keyword shims)
+# ----------------------------------------------------------------------
+def build_cluster(spec: Union[ClusterSpec, str] = "mdcc", **legacy) -> Cluster:
+    """Build the deployment a :class:`ClusterSpec` describes.
+
+    A protocol string first argument is the legacy surface and forwards
+    to :func:`repro.db.cluster.build_cluster` unchanged (after a
+    :class:`DeprecationWarning`); it remains the only route to knobs
+    without spec fields (``table_master_dc``, ``migration_policy``,
+    ``rtt_matrix``, ``jitter_sigma``, placement-manager cadences).
+    """
+    if isinstance(spec, ClusterSpec):
+        if legacy:
+            raise TypeError(
+                "a ClusterSpec is self-contained; unexpected keyword(s): "
+                + ", ".join(sorted(legacy))
+            )
+        kwargs = dict(
+            partitions_per_table=spec.effective_partitions,
+            master_policy=spec.master_policy or "hash",
+            seed=spec.seed,
+            config=spec.config(),
+            elastic=spec.elastic,
+        )
+        if spec.datacenters is not None:
+            kwargs["datacenters"] = spec.datacenters
+        return _legacy_build_cluster(spec.protocol, **kwargs)
+    warnings.warn(
+        "build_cluster(protocol, **kwargs) is deprecated; pass a "
+        "repro.api.ClusterSpec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _legacy_build_cluster(spec, **legacy)
+
+
+def run_scenario(
+    spec: Union[ScenarioSpec, FaultSchedule], **legacy
+) -> Union[ExperimentResult, ScenarioResult]:
+    """Run the experiment a :class:`ScenarioSpec` describes.
+
+    Returns an :class:`ExperimentResult` (no ``schedule``) or a
+    :class:`ScenarioResult` (named fault schedule).  A
+    :class:`~repro.faults.schedule.FaultSchedule` first argument is the
+    legacy keyword surface and forwards to
+    :func:`repro.bench.harness.run_scenario` unchanged, after a
+    :class:`DeprecationWarning` — same simulated trajectory, byte for
+    byte.
+    """
+    if isinstance(spec, ScenarioSpec):
+        if legacy:
+            raise TypeError(
+                "a ScenarioSpec is self-contained; unexpected keyword(s): "
+                + ", ".join(sorted(legacy))
+            )
+        if spec.schedule is not None:
+            return _run_scheduled(spec)
+        return _run_experiment(spec)
+    warnings.warn(
+        "run_scenario(schedule, **kwargs) is deprecated; pass a "
+        "repro.api.ScenarioSpec with schedule=<name>",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _legacy_run_scenario(spec, **legacy)
+
+
+def _run_experiment(spec: ScenarioSpec) -> ExperimentResult:
+    cluster = spec.cluster
+    if cluster.datacenters is not None:
+        raise ValueError(
+            "custom data-center sets require a fault schedule scenario; "
+            "fault-free experiments run the paper's five-region deployment"
+        )
+    if cluster.elastic:
+        raise ValueError("elastic clusters require a fault schedule scenario")
+    kwargs = dict(
+        num_clients=spec.clients,
+        num_items=spec.items,
+        warmup_ms=spec.warmup_s * 1_000.0,
+        measure_ms=spec.measure_s * 1_000.0,
+        seed=cluster.seed,
+        partitions_per_table=cluster.partitions_per_table,
+        audit=spec.audit,
+        config=cluster.config(),
+        master_policy=cluster.master_policy or "hash",
+    )
+    if spec.workload == "tpcw":
+        return run_tpcw(cluster.protocol, **kwargs)
+    if spec.workload == "geoshift":
+        return run_geoshift(
+            cluster.protocol, phase_ms=spec.phase_s * 1_000.0, **kwargs
+        )
+    fail_dc_at = None
+    if spec.fail_dc is not None:
+        at_s = spec.fail_at_s if spec.fail_at_s is not None else spec.measure_s / 2
+        fail_dc_at = (spec.fail_dc, (spec.warmup_s + at_s) * 1_000.0)
+    return run_micro(
+        cluster.protocol,
+        hotspot_fraction=spec.hotspot,
+        locality=spec.locality,
+        fail_dc_at=fail_dc_at,
+        **kwargs,
+    )
+
+
+def _run_scheduled(spec: ScenarioSpec) -> ScenarioResult:
+    cluster = spec.cluster
+    schedule_kwargs: Dict[str, object] = dict(
+        start_ms=spec.warmup_s * 1_000.0,
+        duration_ms=spec.measure_s * 1_000.0,
+    )
+    for name in ("victim", "replacement", "donor"):
+        value = getattr(spec, name)
+        if value is not None:
+            schedule_kwargs[name] = value
+    schedule = named_schedule(spec.schedule, **schedule_kwargs)
+    run_kwargs: Dict[str, object] = dict(
+        workload=spec.workload,
+        variant=cluster.protocol,
+        num_clients=spec.clients,
+        num_items=spec.items,
+        warmup_ms=spec.warmup_s * 1_000.0,
+        measure_ms=spec.measure_s * 1_000.0,
+        seed=cluster.seed,
+        partitions_per_table=cluster.partitions_per_table,
+        master_policy=cluster.master_policy,
+        config=cluster.config(),
+        bucket_ms=spec.bucket_s * 1_000.0,
+        audit=spec.audit,
+        elastic=cluster.elastic,
+    )
+    if cluster.datacenters is not None:
+        run_kwargs["datacenters"] = cluster.datacenters
+    return _legacy_run_scenario(schedule, **run_kwargs)

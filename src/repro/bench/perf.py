@@ -1,31 +1,44 @@
 """`repro bench`: the deterministic simulator-core performance baseline.
 
 Runs a fixed micro workload (fixed seed, fixed client/item counts) on
-each MDCC variant and emits ``BENCH_sim_core.json`` — the artifact CI
-uploads on every PR so the perf trajectory of the simulator core is
-visible over time.
+each MDCC variant and emits ``BENCH_sim_core.json`` — the committed
+perf baseline CI gates against on every PR so the perf trajectory of
+the simulator core is visible (and enforced) over time.
 
-Every number in the artifact is **simulated-time** derived (events per
-simulated second, commits per simulated second) and therefore exactly
-reproducible: two runs at the same seed must produce byte-identical
-files, and CI asserts they do.  Wall-clock observations (how fast the
-host chewed through the event heap) go to stderr only — they vary by
-machine and would break the byte-identity contract.
+The payload has two disjoint parts:
+
+* ``results`` (plus ``params``/``schema``/``seed``) — **simulated-time**
+  derived (events per simulated second, commits per simulated second,
+  per-type message counts) and therefore exactly reproducible: two runs
+  at the same seed must render byte-identical JSON once the wall-clock
+  block is stripped, and CI asserts they do.
+* ``wallclock`` — how fast the host chewed through the event heap
+  (events per wall-second).  Machine-dependent by nature, excluded from
+  every byte-identity comparison, and gated with a relative tolerance
+  by ``repro bench --compare BASELINE``.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import sys
 import time
-from typing import Dict, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
 
-from repro.db.cluster import build_cluster
+from repro.api import ClusterSpec, build_cluster
 from repro.workloads.micro import MicroBenchmark
 
-__all__ = ["BENCH_SCHEMA", "run_bench", "render_bench_json"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "compare_to_baseline",
+    "render_bench_json",
+    "run_bench",
+    "strip_wallclock",
+]
 
-BENCH_SCHEMA = "bench_sim_core/v1"
+BENCH_SCHEMA = "bench_sim_core/v2"
 
 #: the fixed workload; changing any of these is a schema bump.
 _DEFAULTS = dict(
@@ -40,57 +53,158 @@ _DEFAULTS = dict(
 
 _VARIANTS = ("mdcc", "fast", "multi")
 
+#: default --compare tolerance: fail on a >10% events/wall-s drop.
+REGRESSION_TOLERANCE = 0.10
 
-def _bench_one(protocol: str, seed: int, params: Dict) -> Dict[str, object]:
-    cluster = build_cluster(
-        protocol,
+
+def _bench_one(
+    protocol: str, seed: int, params: Dict, base_spec: Optional[ClusterSpec] = None
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """One variant run: returns (deterministic result, wallclock block)."""
+    spec = replace(
+        base_spec if base_spec is not None else ClusterSpec(),
+        protocol=protocol,
         seed=seed,
         partitions_per_table=params["partitions_per_table"],
     )
+    cluster = build_cluster(spec)
     bench = MicroBenchmark(
         num_items=params["items"],
         min_stock=params["min_stock"],
         max_stock=params["max_stock"],
     )
-    wall_start = time.perf_counter()
-    stats, _pool = bench.run(
-        cluster,
-        num_clients=params["clients"],
-        warmup_ms=params["warmup_ms"],
-        measure_ms=params["measure_ms"],
-    )
-    wall_s = time.perf_counter() - wall_start
+    # Timing discipline (as pyperf does): cyclic GC off during the timed
+    # region.  The sim's object graph is overwhelmingly acyclic — frozen
+    # dataclasses, tuples — so refcounting reclaims it and collector
+    # pauses are pure timing noise.  Simulated results are unaffected.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        wall_start = time.perf_counter()
+        stats, _pool = bench.run(
+            cluster,
+            num_clients=params["clients"],
+            warmup_ms=params["warmup_ms"],
+            measure_ms=params["measure_ms"],
+        )
+        wall_s = time.perf_counter() - wall_start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
     events = cluster.sim.events_processed
     sim_ms = cluster.sim.now
+    sim_s = sim_ms / 1_000.0
     measure_s = params["measure_ms"] / 1_000.0
+    net = cluster.network.stats
     print(
         f"[bench] {protocol}: {events} events in {wall_s:.2f}s wall "
         f"({events / wall_s:,.0f} events/wall-s — advisory, machine-dependent)",
         file=sys.stderr,
     )
-    return {
+    result = {
         "aborts": stats.aborts,
         "commits": stats.commits,
         "commits_per_sim_s": round(stats.commits / measure_s, 3),
         "events": events,
-        "events_per_sim_s": round(events / (sim_ms / 1_000.0), 3),
+        "events_per_sim_s": round(events / sim_s, 3),
+        "messages": {
+            "delivered": net.messages_delivered,
+            "dropped": net.messages_dropped,
+            "per_type": dict(sorted(net.per_type.items())),
+            "sent": net.messages_sent,
+        },
+        "messages_per_sim_s": round(net.messages_sent / sim_s, 3),
         "sim_ms": round(sim_ms, 3),
     }
+    wallclock = {
+        "events_per_wall_s": round(events / wall_s, 1),
+        "wall_s": round(wall_s, 3),
+    }
+    return result, wallclock
 
 
-def run_bench(seed: int = 1, overrides: Optional[Dict] = None) -> Dict[str, object]:
-    """The artifact payload: deterministic for a given seed + params."""
+def run_bench(
+    seed: int = 7,
+    overrides: Optional[Dict] = None,
+    base_spec: Optional[ClusterSpec] = None,
+) -> Dict[str, object]:
+    """The artifact payload: deterministic for a given seed + params,
+    except for the clearly-separated ``wallclock`` block."""
     params = dict(_DEFAULTS)
     if overrides:
         params.update(overrides)
+    results: Dict[str, object] = {}
+    wallclock: Dict[str, object] = {}
+    for protocol in _VARIANTS:
+        results[protocol], wallclock[protocol] = _bench_one(
+            protocol, seed, params, base_spec
+        )
     return {
         "params": params,
-        "results": {
-            protocol: _bench_one(protocol, seed, params) for protocol in _VARIANTS
-        },
+        "results": results,
         "schema": BENCH_SCHEMA,
         "seed": seed,
+        "wallclock": wallclock,
     }
+
+
+def strip_wallclock(payload: Dict[str, object]) -> Dict[str, object]:
+    """The byte-identity view: everything except machine-dependent keys."""
+    return {key: value for key, value in payload.items() if key != "wallclock"}
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Gate a fresh bench payload against a committed baseline.
+
+    Returns a list of failure messages (empty == gate passes):
+
+    * Any difference in the deterministic view (schema, params, seed or
+      per-variant simulated results) is a hard failure — the simulated
+      trajectory drifted, which no amount of "it got faster" excuses.
+    * A variant whose events/wall-s fell more than ``tolerance`` below
+      the baseline's fails the throughput gate.  Wall-clock is
+      machine-dependent, so the gate is relative, never absolute.
+    """
+    failures: List[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+            f"current {current.get('schema')!r} — regenerate the baseline "
+            "with `repro bench`"
+        )
+        return failures
+    base_det = strip_wallclock(baseline)
+    cur_det = strip_wallclock(current)
+    if base_det != cur_det:
+        for key in sorted(set(base_det) | set(cur_det)):
+            if base_det.get(key) != cur_det.get(key):
+                failures.append(
+                    f"deterministic drift in {key!r}: the simulated "
+                    "trajectory no longer matches the committed baseline"
+                )
+        return failures
+    base_wall = baseline.get("wallclock") or {}
+    cur_wall = current.get("wallclock") or {}
+    for protocol in _VARIANTS:
+        base_entry = base_wall.get(protocol)
+        cur_entry = cur_wall.get(protocol)
+        if not base_entry or not cur_entry:
+            continue
+        base_rate = base_entry["events_per_wall_s"]
+        cur_rate = cur_entry["events_per_wall_s"]
+        floor = base_rate * (1.0 - tolerance)
+        if cur_rate < floor:
+            failures.append(
+                f"{protocol}: events/wall-s regressed "
+                f"{base_rate:,.0f} -> {cur_rate:,.0f} "
+                f"(> {tolerance:.0%} below baseline)"
+            )
+    return failures
 
 
 def render_bench_json(payload: Dict[str, object]) -> str:

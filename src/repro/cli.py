@@ -31,24 +31,12 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.bench.harness import (
-    ExperimentResult,
-    run_geoshift,
-    run_micro,
-    run_scenario,
-    run_tpcw,
-)
-from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.api import ClusterSpec, ScenarioSpec, run_scenario
+from repro.bench.harness import ExperimentResult, ScenarioResult
 from repro.db.cluster import PROTOCOLS
-from repro.faults.schedule import NAMED_SCHEDULES, named_schedule
+from repro.faults.schedule import NAMED_SCHEDULES
 
 __all__ = ["build_parser", "main"]
-
-_VARIANTS = {
-    "mdcc": ProtocolVariant.MDCC,
-    "fast": ProtocolVariant.FAST,
-    "multi": ProtocolVariant.MULTI,
-}
 
 WORKLOADS = ("micro", "tpcw", "geoshift")
 
@@ -141,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", action="store_true", help="machine-readable output")
     run.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="run the ScenarioSpec JSON in FILE ('-' for stdin); the spec "
+        "fully defines the experiment, so other experiment flags are "
+        "ignored (see repro.api.ScenarioSpec.to_json)",
+    )
+    run.add_argument(
         "--transport",
         choices=("sim", "tcp"),
         default="sim",
@@ -202,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         "emits simulated events/sec + commits/sec.  Byte-identical across "
         "runs at the same seed; wall-clock numbers go to stderr only.",
     )
-    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=7)
     bench.add_argument(
         "--output",
         default="BENCH_sim_core.json",
@@ -213,6 +209,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override the fixed measurement window (changes the artifact!)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="gate against a committed baseline JSON: exit 1 on any "
+        "deterministic drift or a >10%% events/wall-s regression",
+    )
+    bench.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=None,
+        help="override the --compare wall-clock tolerance (default 0.10)",
     )
 
     compare = sub.add_parser(
@@ -392,55 +401,67 @@ def _experiment_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _config_for(protocol: str, args: argparse.Namespace) -> Optional[MDCCConfig]:
-    if protocol not in _VARIANTS:
-        return None
-    return MDCCConfig(
-        variant=_VARIANTS[protocol],
-        gamma_policy=args.gamma_policy,
-        visibility_batch_ms=args.batch_ms,
-        demarcation_enabled=not args.no_demarcation,
-    )
-
-
-def _run_one(protocol: str, args: argparse.Namespace) -> ExperimentResult:
-    kwargs = dict(
-        num_clients=args.clients,
-        num_items=args.items,
-        warmup_ms=args.warmup_s * 1_000.0,
-        measure_ms=args.measure_s * 1_000.0,
-        seed=args.seed,
-        audit=not args.no_audit,
-        config=_config_for(protocol, args),
-        master_policy=args.master_policy,
-    )
-    if args.master_policy == "adaptive" and protocol not in _VARIANTS:
-        raise SystemExit(
-            "adaptive master placement requires an MDCC variant "
-            f"({', '.join(_VARIANTS)}); got {protocol!r}"
+def _cluster_spec_from_args(
+    args: argparse.Namespace, protocol: str, *, elastic: bool = False
+) -> ClusterSpec:
+    """Argparse flags -> typed deployment spec (one mapping for all
+    subcommands; flags a subcommand lacks fall back to spec defaults)."""
+    try:
+        return ClusterSpec(
+            protocol=protocol,
+            datacenters=getattr(args, "datacenters", None),
+            master_policy=getattr(args, "master_policy", None),
+            seed=args.seed,
+            gamma_policy=getattr(args, "gamma_policy", "static"),
+            batch_ms=getattr(args, "batch_ms", 0.0),
+            demarcation=not getattr(args, "no_demarcation", False),
+            elastic=elastic,
         )
-    if args.workload == "tpcw":
-        if args.hotspot is not None or args.locality is not None:
-            raise SystemExit("--hotspot/--locality apply to the micro workload")
-        return run_tpcw(protocol, **kwargs)
-    if args.workload == "geoshift":
-        if args.hotspot is not None or args.locality is not None:
-            raise SystemExit("--hotspot/--locality apply to the micro workload")
-        return run_geoshift(protocol, phase_ms=args.phase_s * 1_000.0, **kwargs)
-    fail_dc_at = None
-    if args.fail_dc is not None:
-        at_s = args.fail_at_s if args.fail_at_s is not None else args.measure_s / 2
-        fail_dc_at = (args.fail_dc, args.warmup_s * 1_000.0 + at_s * 1_000.0)
-    return run_micro(
-        protocol,
-        hotspot_fraction=args.hotspot,
-        locality=args.locality,
-        fail_dc_at=fail_dc_at,
-        **kwargs,
-    )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
-def _as_dict(result: ExperimentResult) -> dict:
+def _spec_from_args(
+    args: argparse.Namespace,
+    protocol: str,
+    *,
+    schedule: Optional[str] = None,
+    elastic: bool = False,
+) -> ScenarioSpec:
+    """The one place argparse namespaces become scenario specs — every
+    experiment-running subcommand funnels through here, so the flag ->
+    spec-field mapping (and its validation) lives in exactly one spot."""
+    dc_replace = schedule == "dc-replace"
+    try:
+        return ScenarioSpec(
+            cluster=_cluster_spec_from_args(args, protocol, elastic=elastic),
+            workload=getattr(args, "workload", "micro"),
+            clients=args.clients,
+            items=args.items,
+            warmup_s=args.warmup_s,
+            measure_s=args.measure_s,
+            hotspot=getattr(args, "hotspot", None),
+            locality=getattr(args, "locality", None),
+            phase_s=getattr(args, "phase_s", 20.0),
+            audit=not getattr(args, "no_audit", False),
+            fail_dc=getattr(args, "fail_dc", None),
+            fail_at_s=getattr(args, "fail_at_s", None),
+            schedule=schedule,
+            bucket_s=getattr(args, "bucket_s", 5.0),
+            victim=getattr(args, "victim", None) if dc_replace else None,
+            replacement=getattr(args, "replacement", None) if dc_replace else None,
+            donor=getattr(args, "donor", None) if dc_replace else None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _run_one(protocol: str, args: argparse.Namespace):
+    spec = _spec_from_args(args, protocol)
+    return spec, run_scenario(spec)
+
+
+def _as_dict(result: ExperimentResult, spec: ScenarioSpec) -> dict:
     return {
         "protocol": result.protocol,
         "commits": result.commits,
@@ -454,95 +475,74 @@ def _as_dict(result: ExperimentResult) -> dict:
         "divergent_records": result.divergent_records,
         "master_policy": result.extra.get("master_policy", "hash"),
         "migrations": result.extra.get("migrations", 0),
+        "spec": spec.to_dict(),
     }
 
 
-def _run_chaos(args: argparse.Namespace) -> int:
-    schedule = named_schedule(
-        args.schedule,
-        start_ms=args.warmup_s * 1_000.0,
-        duration_ms=args.measure_s * 1_000.0,
-    )
-    result = run_scenario(
-        schedule,
-        workload=args.workload,
-        variant=args.variant,
-        num_clients=args.clients,
-        num_items=args.items,
-        warmup_ms=args.warmup_s * 1_000.0,
-        measure_ms=args.measure_s * 1_000.0,
-        seed=args.seed,
-        master_policy=args.master_policy,
-        bucket_ms=args.bucket_s * 1_000.0,
-    )
+def _scenario_payload(
+    result: ScenarioResult, spec: ScenarioSpec, include_events: bool
+) -> dict:
     payload = result.as_dict()
+    payload["spec"] = spec.to_dict()
     # Stable schema: the count is always present; the (possibly long)
-    # event list only with --events, and always as a list.
+    # event list only on request, and always as a list.
     payload["chaos_event_count"] = len(payload["chaos_events"])
-    if not args.events:
+    if not include_events:
         del payload["chaos_events"]
+    return payload
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, args.variant, schedule=args.schedule)
+    result = run_scenario(spec)
+    payload = _scenario_payload(result, spec, args.events)
     print(json.dumps(payload, indent=2))
     return 0 if result.clean else 1
 
 
 def _run_reconfig(args: argparse.Namespace) -> int:
-    from repro.sim.network import EC2_REGIONS
-
-    datacenters = args.datacenters or EC2_REGIONS
-    if args.victim not in datacenters:
-        raise SystemExit(f"victim {args.victim!r} is not in the initial membership")
-    if args.victim == datacenters[0]:
-        # The reconfig control plane (and its catch-up agent) lives in the
-        # first data center; failing that DC would stall the membership
-        # operations themselves and quietly invalidate the scenario.
-        raise SystemExit(
-            f"victim {args.victim!r} hosts the reconfig control plane (the "
-            "first listed data center); pick another victim or reorder "
-            "--datacenters"
-        )
-    if args.donor not in datacenters or args.donor == args.victim:
-        raise SystemExit("--donor must be a surviving member of the cluster")
-    if args.replacement in datacenters:
-        raise SystemExit(f"replacement {args.replacement!r} is already a member")
-    schedule = named_schedule(
-        "dc-replace",
-        start_ms=args.warmup_s * 1_000.0,
-        duration_ms=args.measure_s * 1_000.0,
-        victim=args.victim,
-        replacement=args.replacement,
-        donor=args.donor,
+    spec = _spec_from_args(
+        args, args.variant, schedule="dc-replace", elastic=True
     )
-    result = run_scenario(
-        schedule,
-        workload=args.workload,
-        variant=args.variant,
-        num_clients=args.clients,
-        num_items=args.items,
-        warmup_ms=args.warmup_s * 1_000.0,
-        measure_ms=args.measure_s * 1_000.0,
-        seed=args.seed,
-        bucket_ms=args.bucket_s * 1_000.0,
-        datacenters=datacenters,
-        elastic=True,
-    )
-    payload = result.as_dict()
-    payload["chaos_event_count"] = len(payload["chaos_events"])
-    if not args.events:
-        del payload["chaos_events"]
+    result = run_scenario(spec)
+    payload = _scenario_payload(result, spec, args.events)
     membership = payload["membership"] or {}
     # The replacement must be a member AND have been admitted inside the
     # scenario window — an admission that only lands after the
     # post-scenario heal means the join never actually ran under fault.
-    window_ms = (args.warmup_s + args.measure_s) * 1_000.0
-    replaced = args.replacement in membership.get("datacenters", []) and any(
+    window_ms = (spec.warmup_s + spec.measure_s) * 1_000.0
+    replaced = spec.replacement in membership.get("datacenters", []) and any(
         entry["event"] == "admitted"
-        and entry["dc"] == args.replacement
+        and entry["dc"] == spec.replacement
         and entry["t_ms"] <= window_ms
         for entry in membership.get("history", [])
     )
     payload["replacement_admitted"] = replaced
     print(json.dumps(payload, indent=2))
     return 0 if result.clean and replaced else 1
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    """``repro run --spec scenario.json``: the spec file IS the experiment."""
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        spec = ScenarioSpec.from_json(text)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"bad scenario spec {args.spec!r}: {exc}")
+    result = run_scenario(spec)
+    if isinstance(result, ScenarioResult):
+        payload = _scenario_payload(result, spec, include_events=False)
+        print(json.dumps(payload, indent=2))
+        return 0 if result.clean else 1
+    if args.json:
+        print(json.dumps(_as_dict(result, spec), indent=2))
+    else:
+        _print_table([result])
+    return 0
 
 
 def _run_list(as_json: bool) -> int:
@@ -606,18 +606,45 @@ def _run_topology(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from repro.bench.perf import render_bench_json, run_bench
+    from repro.bench.perf import (
+        REGRESSION_TOLERANCE,
+        compare_to_baseline,
+        render_bench_json,
+        run_bench,
+    )
 
     overrides = None
     if args.measure_s is not None:
         overrides = {"measure_ms": args.measure_s * 1_000.0}
-    payload = render_bench_json(run_bench(seed=args.seed, overrides=overrides))
+    # The bench fixes its own workload/protocol grid; the shared helper
+    # still supplies the deployment template (seed etc.) per variant.
+    base_spec = _cluster_spec_from_args(args, "mdcc")
+    payload = run_bench(seed=args.seed, overrides=overrides, base_spec=base_spec)
+    rendered = render_bench_json(payload)
     if args.output == "-":
-        sys.stdout.write(payload)
+        sys.stdout.write(rendered)
     else:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(payload)
+            handle.write(rendered)
         print(f"wrote {args.output}", file=sys.stderr)
+    if args.compare is not None:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        tolerance = (
+            REGRESSION_TOLERANCE
+            if args.regression_tolerance is None
+            else args.regression_tolerance
+        )
+        failures = compare_to_baseline(payload, baseline, tolerance=tolerance)
+        if failures:
+            for failure in failures:
+                print(f"[bench-gate] FAIL {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"[bench-gate] OK — matches {args.compare} "
+            f"(wall-clock within {tolerance:.0%})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -654,11 +681,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "run" and args.transport == "tcp":
+        if args.spec is not None:
+            raise SystemExit("--spec drives the sim transport only")
         return _run_tcp(args)
+    if args.command == "run" and args.spec is not None:
+        return _run_spec_file(args)
     if args.command == "run":
-        result = _run_one(args.protocol, args)
+        spec, result = _run_one(args.protocol, args)
         if args.json:
-            print(json.dumps(_as_dict(result), indent=2))
+            print(json.dumps(_as_dict(result, spec), indent=2))
         else:
             _print_table([result])
         return 0
@@ -666,11 +697,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     unknown = [p for p in protocols if p not in PROTOCOLS]
     if unknown:
         raise SystemExit(f"unknown protocol(s): {', '.join(unknown)}")
-    results = [_run_one(protocol, args) for protocol in protocols]
+    runs = [_run_one(protocol, args) for protocol in protocols]
     if args.json:
-        print(json.dumps([_as_dict(r) for r in results], indent=2))
+        print(json.dumps([_as_dict(r, s) for s, r in runs], indent=2))
     else:
-        _print_table(results)
+        _print_table([result for _spec, result in runs])
     return 0
 
 

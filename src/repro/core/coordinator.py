@@ -171,6 +171,10 @@ class MDCCCoordinator(Node):
         super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
+        self._elastic = placement.is_elastic
+        self._fast_ballots = config.fast_ballots_enabled
+        #: static clusters never change quorum sizes, so resolve once.
+        self._static_spec = None if self._elastic else config.quorums
         self.counters = counters if counters is not None else CounterSet()
         self._transactions: Dict[str, _TxState] = {}
         self._txid_seq = itertools.count(1)
@@ -184,7 +188,9 @@ class MDCCCoordinator(Node):
     @property
     def spec(self):
         """Quorum sizes under the current membership epoch."""
-        return self.placement.quorum_spec(self.config)
+        if self._elastic:
+            return self.placement.quorums()
+        return self._static_spec
 
     def _home_dc(self) -> str:
         """This node's DC, or the first active DC once its own has been
@@ -290,10 +296,12 @@ class MDCCCoordinator(Node):
         return future
 
     def _propose(self, tx: _TxState, option: Option) -> None:
-        if self.config.fast_ballots_enabled:
+        if self._fast_ballots:
             replicas = self.placement.replicas(option.record)
             message = ProposeFast(
-                option=option, reply_to=self.node_id, epoch=self.placement.epoch
+                option=option,
+                reply_to=self.node_id,
+                epoch=self.placement.epoch if self._elastic else 0,
             )
             self.broadcast(replicas, message)
             self.counters.increment("coordinator.fast_proposals")
@@ -315,13 +323,15 @@ class MDCCCoordinator(Node):
         tx = self._transactions.get(message.txid)
         if tx is None or tx.finished or message.option_id in tx.learned:
             return
-        epoch = self.placement.epoch
+        epoch = self.placement.epoch if self._elastic else 0
         if message.epoch < epoch:
             # A vote cast under the previous configuration: dropping it is
             # what keeps a fast quorum from straddling a resize.
             self.counters.increment("reconfig.stale_epoch_dropped")
             return
-        tally = tx.tallies.setdefault(message.option_id, {})
+        tally = tx.tallies.get(message.option_id)
+        if tally is None:
+            tally = tx.tallies[message.option_id] = {}
         if tx.tally_epochs.get(message.option_id, epoch) != epoch:
             # Votes gathered before the bump are void; start the tally
             # over under the new epoch (stragglers re-fill it, or the
@@ -329,15 +339,21 @@ class MDCCCoordinator(Node):
             tally.clear()
         tx.tally_epochs[message.option_id] = epoch
         tally[src_id] = message.status
-        accepted = sum(1 for s in tally.values() if s is OptionStatus.ACCEPTED)
-        rejected = sum(1 for s in tally.values() if s is OptionStatus.REJECTED)
-        if accepted >= self.spec.fast_size:
+        accepted = 0
+        rejected = 0
+        for status in tally.values():
+            if status is OptionStatus.ACCEPTED:
+                accepted += 1
+            elif status is OptionStatus.REJECTED:
+                rejected += 1
+        spec = self.spec
+        if accepted >= spec.fast_size:
             self._learn(tx, message.option_id, OptionStatus.ACCEPTED)
-        elif rejected >= self.spec.fast_size:
+        elif rejected >= spec.fast_size:
             self._learn(tx, message.option_id, OptionStatus.REJECTED)
-        elif self.spec.fast_unreachable(
+        elif spec.fast_unreachable(
             accepted, len(tally)
-        ) and self.spec.fast_unreachable(rejected, len(tally)):
+        ) and spec.fast_unreachable(rejected, len(tally)):
             # Neither outcome can reach a fast quorum: a collision.
             self._escalate(tx, message.option_id, "collision")
 

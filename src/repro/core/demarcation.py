@@ -30,7 +30,7 @@ from repro.storage.schema import Constraint
 __all__ = ["DemarcationLimits", "demarcation_limits", "escrow_accepts"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DemarcationLimits:
     """The per-node acceptance window for one attribute's base value.
 
@@ -98,13 +98,14 @@ def escrow_accepts(
     the value to fall below" a limit (§3.4.2) — a pure increment can never
     violate the lower bound and vice versa.
     """
-    pending = list(pending_deltas)
+    # At most one branch consumes ``pending_deltas`` (new_delta has one
+    # sign), so the iterable is read once and needs no materialization.
     if new_delta < 0 and limits.lower is not None:
-        low = current_value + sum(d for d in pending if d < 0) + new_delta
+        low = current_value + sum(d for d in pending_deltas if d < 0) + new_delta
         if low < limits.lower:
             return False
     if new_delta > 0 and limits.upper is not None:
-        high = current_value + sum(d for d in pending if d > 0) + new_delta
+        high = current_value + sum(d for d in pending_deltas if d > 0) + new_delta
         if high > limits.upper:
             return False
     return True

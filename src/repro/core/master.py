@@ -109,9 +109,10 @@ class MasterRole:
         return False
 
     def _state(self, record: RecordId) -> _MasterRecordState:
-        if record not in self._records:
-            self._records[record] = _MasterRecordState()
-        return self._records[record]
+        ms = self._records.get(record)
+        if ms is None:
+            ms = self._records[record] = _MasterRecordState()
+        return ms
 
     # ------------------------------------------------------------------
     # Inbound: proposals routed through the master
@@ -189,9 +190,10 @@ class MasterRole:
             # a quorum sized for the new one.
             return
         ms = self._state(message.record)
-        ms.replica_versions[src_id] = max(
-            ms.replica_versions.get(src_id, 0), message.committed_version
-        )
+        versions = ms.replica_versions
+        prev = versions.get(src_id)
+        if prev is None or message.committed_version > prev:
+            versions[src_id] = message.committed_version
         if message.promised > ms.highest_seen:
             ms.highest_seen = message.promised
         if ms.phase != "phase1" or message.ballot != ms.ballot:
@@ -496,9 +498,10 @@ class MasterRole:
         if self._fence_stale(message.epoch):
             return
         ms = self._state(message.record)
-        ms.replica_versions[src_id] = max(
-            ms.replica_versions.get(src_id, 0), message.committed_version
-        )
+        versions = ms.replica_versions
+        prev = versions.get(src_id)
+        if prev is None or message.committed_version > prev:
+            versions[src_id] = message.committed_version
         if ms.phase != "phase2" or message.ballot != ms.ballot:
             return
         if ms.round_epoch != self._epoch():
@@ -522,29 +525,35 @@ class MasterRole:
 
     def _try_decide_phase2(self, record: RecordId) -> None:
         ms = self._state(record)
-        if len(ms.phase2_replies) < self.spec.classic_size:
+        spec = self.spec
+        classic_size = spec.classic_size
+        replies = ms.phase2_replies
+        if len(replies) < classic_size:
             return
         assert ms.phase2_cstruct is not None
+        reply_values = list(replies.values())
         decided: Dict[str, OptionStatus] = {}
         undecided: List[str] = []
         for option in ms.phase2_cstruct:
+            option_id = option.option_id
             tally: Dict[OptionStatus, int] = {}
-            for reply in ms.phase2_replies.values():
-                if reply.cstruct is None:
+            for reply in reply_values:
+                cstruct = reply.cstruct
+                if cstruct is None:
                     continue
-                adopted = reply.cstruct.command(option.option_id)
+                adopted = cstruct.command(option_id)
                 if adopted is not None and adopted.status.decided:
                     tally[adopted.status] = tally.get(adopted.status, 0) + 1
             verdict = None
             for status, count in tally.items():
-                if count >= self.spec.classic_size:
+                if count >= classic_size:
                     verdict = status
                     break
             if verdict is None:
-                undecided.append(option.option_id)
+                undecided.append(option_id)
             else:
-                decided[option.option_id] = verdict
-        if undecided and len(ms.phase2_replies) < self.spec.n:
+                decided[option_id] = verdict
+        if undecided and len(replies) < spec.n:
             return  # wait for more replies
         if undecided:
             # All replicas replied but no status reached a classic quorum

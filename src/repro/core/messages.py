@@ -57,7 +57,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Fast path (Algorithm 3, Phase2bFast)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposeFast:
     """Coordinator → acceptors: propose an option in the current fast ballot."""
 
@@ -66,7 +66,7 @@ class ProposeFast:
     epoch: int = 0  # sender's membership epoch (fenced by the acceptor)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FastReply:
     """Acceptor → learner: the option's locally decided status (Phase2b).
 
@@ -88,7 +88,7 @@ class FastReply:
 # ----------------------------------------------------------------------
 # Classic path (master-routed)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposeClassic:
     """Coordinator (or forwarding acceptor) → master."""
 
@@ -96,7 +96,7 @@ class ProposeClassic:
     reply_to: str  # coordinator to notify with the OptionOutcome
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MPhase1a:
     """Master → acceptors: claim mastership of an instance range."""
 
@@ -106,7 +106,7 @@ class MPhase1a:
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MPhase1b:
     """Acceptor → master: promise + current accepted state.
 
@@ -127,7 +127,7 @@ class MPhase1b:
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MPhase2a:
     """Master → acceptors: adopt this cstruct at this ballot.
 
@@ -145,7 +145,7 @@ class MPhase2a:
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MPhase2b:
     """Acceptor → master: the adopted cstruct with locally decided statuses.
 
@@ -164,7 +164,7 @@ class MPhase2b:
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OptionOutcome:
     """Master → coordinator: an option's quorum-decided status."""
 
@@ -174,7 +174,7 @@ class OptionOutcome:
     status: OptionStatus
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartRecovery:
     """Learner → master: fast ballot collided (or timed out); arbitrate.
 
@@ -192,7 +192,7 @@ class StartRecovery:
     reply_to: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MastershipTaken:
     """New master → placement manager: the Phase-1 takeover completed.
 
@@ -212,7 +212,7 @@ class MastershipTaken:
 # ----------------------------------------------------------------------
 # Visibility & catch-up
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Visibility:
     """Coordinator → acceptors: execute (✓) or discard (✗) an option.
 
@@ -225,7 +225,7 @@ class Visibility:
     committed: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VisibilityBatch:
     """Coordinator → one acceptor: several visibilities in one message.
 
@@ -245,7 +245,7 @@ class VisibilityBatch:
             raise ValueError("empty visibility batch")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CatchUp:
     """Master/repair-agent → lagging acceptor: a record's committed state.
 
@@ -262,7 +262,7 @@ class CatchUp:
     applied_ids: Tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RepairProbe:
     """Anti-entropy agent → acceptor: report committed state for repair."""
 
@@ -270,7 +270,7 @@ class RepairProbe:
     request_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RepairReply:
     """Acceptor → anti-entropy agent: committed state + applied ids.
 
@@ -294,7 +294,7 @@ class RepairReply:
 # ----------------------------------------------------------------------
 # Snapshot bootstrap (elastic membership joins)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotRequest:
     """Reconfig manager → donor replica: stream your store to ``target``.
 
@@ -309,7 +309,7 @@ class SnapshotRequest:
     reply_to: str  # the reconfig manager awaiting the SnapshotAck
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotChunk:
     """Donor replica → joining replica: a slice of committed records.
 
@@ -329,7 +329,7 @@ class SnapshotChunk:
     reply_to: str  # manager to ack once the final chunk is adopted
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotAck:
     """Joining replica → reconfig manager: the stream has been adopted."""
 
@@ -342,14 +342,14 @@ class SnapshotAck:
 # ----------------------------------------------------------------------
 # Reads
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest:
     table: str
     key: str
     request_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReply:
     request_id: int
     table: str
@@ -364,7 +364,7 @@ class ReadReply:
 # ----------------------------------------------------------------------
 # Dangling-transaction recovery (§3.2.3)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusRequest:
     """Recovery agent → acceptors: what do you know about this tx's option?"""
 
@@ -373,7 +373,7 @@ class StatusRequest:
     request_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusReply:
     """One acceptor's knowledge of one option of a transaction."""
 

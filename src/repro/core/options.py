@@ -19,7 +19,7 @@ transaction-id as well as all primary keys of the write-set" (§3.2.3).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 __all__ = [
@@ -33,18 +33,44 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class RecordId:
-    """A globally unique record address."""
+    """A globally unique record address.
+
+    ``str(record)`` is on the hot path (it keys option ids and WAL
+    entries), so the rendered form is computed once at construction.
+    The cache is a non-init field: the wire codec and ``fields()``-based
+    equality both skip ``init=False`` fields.
+    """
 
     table: str
     key: str
+    _str: str = field(init=False, repr=False, compare=False, default="")
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_str", self.table + "/" + self.key)
+        object.__setattr__(self, "_hash", hash((self.table, self.key)))
 
     def __str__(self) -> str:
-        return f"{self.table}/{self.key}"
+        return self._str
+
+    def __hash__(self) -> int:
+        # Explicitly defined, so @dataclass keeps it: record ids key every
+        # state table in the system and are hashed far more often than
+        # they are built.
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        # Dict probes compare distinct-but-equal ids constantly; comparing
+        # the fields directly skips the generated __eq__'s tuple builds.
+        # (Keys differ far more often than tables, so they go first.)
+        if other.__class__ is RecordId:
+            return self.key == other.key and self.table == other.table
+        return NotImplemented
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhysicalUpdate:
     """A read-version-guarded full-record write: v_read → v_write.
 
@@ -88,7 +114,7 @@ class PhysicalUpdate:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommutativeUpdate:
     """Attribute delta changes, e.g. ``decrement(stock, 1)`` (§3.4.1).
 
@@ -122,7 +148,7 @@ class CommutativeUpdate:
         return tuple(name for name, _ in self.deltas)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadValidation:
     """An OCC read-set assertion: the record is still at version ``vread``.
 
@@ -166,12 +192,18 @@ class OptionStatus(enum.Enum):
         return self is not OptionStatus.PENDING
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Option:
     """ω(up, status) — a proposed update to one record of one transaction.
 
     Identity (``option_id``) is (txid, record): a transaction writes each
     record at most once (its write-set is keyed by record).
+
+    ``option_id`` is the single hottest string in the protocol (every
+    tally, waiter map and cstruct membership check keys on it), so it is
+    computed once at construction instead of per access.  As a non-init
+    cache field it stays out of equality, hashing, repr and the wire
+    codec.
     """
 
     txid: str
@@ -179,14 +211,14 @@ class Option:
     update: Update
     writeset: Tuple[RecordId, ...] = field(default=())
     status: OptionStatus = OptionStatus.PENDING
+    option_id: str = field(init=False, repr=False, compare=False, default="")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "option_id", f"{self.txid}:{self.record}")
 
     # ------------------------------------------------------------------
     # Identity & status
     # ------------------------------------------------------------------
-    @property
-    def option_id(self) -> str:
-        return f"{self.txid}:{self.record}"
-
     @property
     def command_id(self) -> str:
         """cstruct Command protocol: identity within a record's instance."""
@@ -201,7 +233,21 @@ class Option:
         return isinstance(self.update, ReadValidation)
 
     def with_status(self, status: OptionStatus) -> "Option":
-        return replace(self, status=status)
+        if status is self.status:
+            return self
+        # Hand-rolled copy: every field is immutable and option_id does not
+        # depend on status, so the dataclasses.replace machinery (field
+        # enumeration, __init__, __post_init__ re-format) is pure overhead
+        # on what is the single hottest constructor in the protocol.
+        new = object.__new__(Option)
+        _set = object.__setattr__
+        _set(new, "txid", self.txid)
+        _set(new, "record", self.record)
+        _set(new, "update", self.update)
+        _set(new, "writeset", self.writeset)
+        _set(new, "status", status)
+        _set(new, "option_id", self.option_id)
+        return new
 
     @property
     def accepted(self) -> bool:

@@ -26,7 +26,7 @@ from repro.core.options import (
     PhysicalUpdate,
     ReadValidation,
 )
-from repro.paxos.ballot import Ballot, BallotRange
+from repro.paxos.ballot import Ballot, BallotRange, INITIAL_FAST_BALLOT
 from repro.paxos.cstruct import CStruct
 from repro.paxos.multi import MastershipState
 from repro.paxos.quorum import QuorumSpec
@@ -34,6 +34,10 @@ from repro.storage.record import Record
 from repro.storage.schema import TableSchema
 
 __all__ = ["RecordState"]
+
+#: Shared empty cstruct — immutable, so every record that drains its last
+#: pending option can point at the same instance.
+_EMPTY_CSTRUCT = CStruct()
 
 
 class RecordState:
@@ -68,6 +72,9 @@ class RecordState:
         self._deferred_physical: Dict[int, Option] = {}
         #: commutative visibilities waiting for the record to exist
         self._deferred_deltas: List[Option] = []
+        #: memoized demarcation windows keyed by everything they derive
+        #: from — cleared whenever the bases reset (refresh/era close).
+        self._limits_cache: Dict[tuple, "DemarcationLimits"] = {}
 
     # ------------------------------------------------------------------
     # Mode / ballot queries
@@ -78,10 +85,13 @@ class RecordState:
         return self.record.current_version
 
     def effective_range(self) -> BallotRange:
-        return self.mastership.effective_range(self.version)
+        return self.mastership.effective_range(self.record.current_version)
 
     def effective_ballot(self) -> Ballot:
-        return self.mastership.effective_ballot(self.version)
+        if not self.mastership.ranges:
+            # No grants ever made: the implicit default fast ballot.
+            return INITIAL_FAST_BALLOT
+        return self.mastership.effective_range(self.record.current_version).ballot
 
     @property
     def is_fast(self) -> bool:
@@ -92,12 +102,15 @@ class RecordState:
     # ------------------------------------------------------------------
     def pending_options(self) -> List[Option]:
         """Accepted options whose visibility has not yet arrived."""
+        executed = self.executed
+        rejected = self.rejected
+        accepted = OptionStatus.ACCEPTED
         return [
             option
-            for option in self.cstruct
-            if option.status is OptionStatus.ACCEPTED
-            and option.option_id not in self.executed
-            and option.option_id not in self.rejected
+            for option in self.cstruct.commands
+            if option.status is accepted
+            and option.option_id not in executed
+            and option.option_id not in rejected
         ]
 
     def has_pending(self) -> bool:
@@ -162,29 +175,46 @@ class RecordState:
     ) -> OptionStatus:
         if not self.record.exists:
             return OptionStatus.REJECTED
-        if self.has_pending_physical():
-            # Deltas do not commute with an in-flight physical write.
-            return OptionStatus.REJECTED
-        snapshot = self.record.snapshot()
+        # One pass over the cstruct serves both the physical-conflict check
+        # and the per-attribute escrow tallies below.
+        pending = self.pending_options()
+        for pending_option in pending:
+            if not pending_option.is_commutative:
+                # Deltas do not commute with an in-flight physical write.
+                return OptionStatus.REJECTED
+        record = self.record
         # In classic mode the full escrow window is available (fast quorum
         # slack collapses to zero: N - N = 0).  Disabling demarcation
         # (ablation) also collapses the slack — leaving the unsafe plain
         # escrow the paper's Figure 2 warns about.
         use_plain_escrow = classic_mode or not self.demarcation
-        effective_fast_quorum = self.spec.n if use_plain_escrow else self.spec.fast_size
+        spec = self.spec
+        spec_n = spec.n
+        effective_fast_quorum = spec_n if use_plain_escrow else spec.fast_size
         for attribute, delta in update.deltas:
             constraint = self.schema.constraint(attribute)
             if constraint is None:
                 continue
-            current = snapshot.attribute(attribute, 0)
+            current = record.peek(attribute, 0)
             if not isinstance(current, (int, float)):
                 return OptionStatus.REJECTED
             base = self.base_values.setdefault(attribute, float(current))
-            limits = demarcation_limits(
-                self.spec.n, effective_fast_quorum, base, constraint
-            )
+            limits_key = (attribute, base, spec_n, effective_fast_quorum)
+            limits = self._limits_cache.get(limits_key)
+            if limits is None:
+                limits = demarcation_limits(
+                    spec_n, effective_fast_quorum, base, constraint
+                )
+                self._limits_cache[limits_key] = limits
+            # Every pending option is commutative here (physical conflicts
+            # were rejected above), so read their deltas directly.
+            pending_deltas = []
+            for pending_option in pending:
+                d = pending_option.update.delta_for(attribute)
+                if d != 0.0:
+                    pending_deltas.append(d)
             if not escrow_accepts(
-                float(current), self.pending_deltas(attribute), delta, limits
+                float(current), pending_deltas, delta, limits
             ):
                 return OptionStatus.REJECTED
         return OptionStatus.ACCEPTED
@@ -194,12 +224,17 @@ class RecordState:
     # ------------------------------------------------------------------
     def accept_fast(self, option: Option) -> Option:
         """Phase2bFast (lines 78-82): decide, append, return ω(up, status)."""
-        if self.cstruct.contains_id(option.option_id):
-            return self.cstruct.command(option.option_id)  # duplicate propose
+        cstruct = self.cstruct
+        if option.option_id in cstruct.ids:
+            return cstruct.command(option.option_id)  # duplicate propose
         decided = option.with_status(self.decide(option))
-        self.cstruct = self.cstruct.append(decided)
-        if self.accepted_ballot is None or self.effective_ballot() > self.accepted_ballot:
-            self.accepted_ballot = self.effective_ballot()
+        self.cstruct = cstruct.append(decided)
+        effective = self.effective_ballot()
+        accepted = self.accepted_ballot
+        # Identity check first: the default fast ballot is a singleton, so
+        # the common steady state never reaches the tuple comparison.
+        if accepted is None or (effective is not accepted and effective > accepted):
+            self.accepted_ballot = effective
         return decided
 
     def adopt(self, proposed: CStruct, ballot: Ballot, classic_mode: bool = True) -> CStruct:
@@ -213,20 +248,27 @@ class RecordState:
         validated against the partially adopted cstruct, so two conflicting
         options in the same proposal cannot both pass validSingle.
         """
-        adopted: List[Option] = []
+        # Grown via append() (which goes through CStruct._make): the
+        # proposed cstruct is already duplicate-free, so re-validating the
+        # partial prefix on every iteration is pure overhead.
+        cstruct = _EMPTY_CSTRUCT
+        executed = self.executed
+        rejected = self.rejected
         for option in proposed:
             # Make earlier options of this proposal visible to decide().
-            self.cstruct = CStruct(adopted)
-            if option.option_id in self.executed:
-                adopted.append(option.with_status(OptionStatus.ACCEPTED))
-            elif option.option_id in self.rejected:
+            self.cstruct = cstruct
+            oid = option.option_id
+            if oid in executed:
+                decided = option.with_status(OptionStatus.ACCEPTED)
+            elif oid in rejected:
                 # Abort-visibility already applied: final, never resurrected.
-                adopted.append(option.with_status(OptionStatus.REJECTED))
+                decided = option.with_status(OptionStatus.REJECTED)
             elif option.status is OptionStatus.PENDING:
-                adopted.append(option.with_status(self.decide(option, classic_mode)))
+                decided = option.with_status(self.decide(option, classic_mode))
             else:
-                adopted.append(option)
-        self.cstruct = CStruct(adopted)
+                decided = option
+            cstruct = cstruct.append(decided)
+        self.cstruct = cstruct
         self.accepted_ballot = ballot
         return self.cstruct
 
@@ -330,6 +372,7 @@ class RecordState:
 
     def refresh_base(self, new_base: Optional[Dict[str, float]] = None) -> None:
         """Set demarcation bases (master classic round writes a new base)."""
+        self._limits_cache.clear()
         if new_base is None:
             self.base_values = {}
             return
@@ -341,19 +384,38 @@ class RecordState:
     def _close_era(self) -> None:
         """A physical commit closed the instance: drop decided options and
         reset demarcation bases to the new committed value (lazily)."""
+        executed = self.executed
         survivors = [
             option
             for option in self.cstruct
             if option.status is OptionStatus.ACCEPTED
-            and option.option_id not in self.executed
+            and option.option_id not in executed
         ]
-        self.cstruct = CStruct(survivors)
+        if not survivors:
+            self.cstruct = _EMPTY_CSTRUCT
+        else:
+            # Survivor ids are a subset of the (duplicate-free) cstruct.
+            self.cstruct = CStruct._make(
+                tuple(survivors),
+                frozenset([o.option_id for o in survivors]),
+            )
         self.base_values = {}
+        self._limits_cache.clear()
 
     def _drop_from_cstruct(self, option_id: str) -> None:
-        remaining = [o for o in self.cstruct if o.option_id != option_id]
-        if len(remaining) != len(self.cstruct):
-            self.cstruct = CStruct(remaining)
+        cstruct = self.cstruct
+        ids = cstruct.ids
+        if option_id not in ids:
+            return
+        commands = cstruct.commands
+        if len(commands) == 1:
+            # The common case — one in-flight option per record instance.
+            self.cstruct = _EMPTY_CSTRUCT
+            return
+        self.cstruct = CStruct._make(
+            tuple([o for o in commands if o.option_id != option_id]),
+            ids - {option_id},
+        )
 
     def _drain_deferred(self) -> None:
         # Physical options whose read version has now been reached.

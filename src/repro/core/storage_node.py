@@ -72,6 +72,12 @@ class MDCCStorageNode(Node):
         super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
+        #: fixed at construction — a membership directory is attached to
+        #: the ReplicaMap before any node is built.
+        self._elastic = placement.is_elastic
+        #: static clusters never change quorum sizes, so resolve once.
+        self._static_spec = None if self._elastic else config.quorums
+        self._fast_ballots = config.fast_ballots_enabled
         self.counters = counters if counters is not None else CounterSet()
         self.store = RecordStore()
         self.wal = WriteAheadLog()
@@ -90,13 +96,17 @@ class MDCCStorageNode(Node):
     def spec(self):
         """Quorum sizes under the current membership epoch.
 
-        Static clusters read the frozen config; elastic clusters derive
-        sizes from the membership directory so an admit/retire resizes
-        every quorum check instantly.
+        Static clusters read the frozen config (resolved once at
+        construction); elastic clusters derive sizes from the membership
+        directory so an admit/retire resizes every quorum check instantly.
         """
-        return self.placement.quorum_spec(self.config)
+        if self._elastic:
+            return self.placement.quorums()
+        return self._static_spec
 
     def _epoch(self) -> int:
+        if not self._elastic:
+            return 0
         return self.placement.epoch
 
     def _fence_stale(self, message_epoch: int) -> bool:
@@ -107,15 +117,15 @@ class MDCCStorageNode(Node):
         return False
 
     def record_state(self, record: RecordId) -> RecordState:
-        if record not in self._states:
-            self._states[record] = RecordState(
+        state = self._states.get(record)
+        if state is None:
+            state = self._states[record] = RecordState(
                 record=self.store.record(record.table, record.key),
                 schema=self.store.schema(record.table),
                 spec=self.spec,
                 demarcation=self.config.demarcation_enabled,
             )
-        state = self._states[record]
-        if self.placement.is_elastic:
+        if self._elastic:
             # Quorum sizes feed the escrow/demarcation windows; keep the
             # cached state on the current epoch's sizes.  quorums() is
             # memoized, so this is an identity-equal no-op between bumps.
@@ -138,7 +148,7 @@ class MDCCStorageNode(Node):
             return
         option = message.option
         state = self.record_state(option.record)
-        if not state.is_fast or not self.config.fast_ballots_enabled:
+        if not state.is_fast or not self._fast_ballots:
             # Classic era: redirect to the master (dedup happens there).
             self.counters.increment("acceptor.forwarded_to_master")
             self.send(
@@ -153,7 +163,7 @@ class MDCCStorageNode(Node):
             option_id=decided.option_id,
             txid=decided.txid,
             status=decided.status.value,
-            writeset=[str(r) for r in decided.writeset],
+            writeset=[r._str for r in decided.writeset],
         )
         self.counters.increment("acceptor.fast_proposals")
         self.send(
@@ -248,17 +258,19 @@ class MDCCStorageNode(Node):
     # Visibility / catch-up
     # ------------------------------------------------------------------
     def handle_visibility(self, message: Visibility, src_id: str) -> None:
-        state = self.record_state(message.option.record)
-        self._option_log.setdefault(message.option.option_id, message.option)
-        changed = state.apply_visibility(message.option, message.committed)
+        option = message.option
+        committed = message.committed
+        state = self.record_state(option.record)
+        self._option_log.setdefault(option.option_id, option)
+        changed = state.apply_visibility(option, committed)
         self.wal.append(
             "visibility",
-            option_id=message.option.option_id,
-            committed=message.committed,
+            option_id=option.option_id,
+            committed=committed,
             applied=changed,
         )
         self.counters.increment(
-            "acceptor.visibility_commit" if message.committed else "acceptor.visibility_abort"
+            "acceptor.visibility_commit" if committed else "acceptor.visibility_abort"
         )
 
     def handle_visibility_batch(self, message: VisibilityBatch, src_id: str) -> None:

@@ -83,6 +83,13 @@ class ReplicaMap:
         #: dataclass's intersection validation run once per resize, not
         #: once per message handled.
         self._quorum_cache: Optional[Tuple[int, QuorumSpec]] = None
+        #: per-record placement caches, valid only while the mapping is
+        #: immutable: a static DC set (no membership directory) and a
+        #: non-adaptive master policy.  Under those policies every lookup
+        #: is a pure function of the record id.
+        self._static_placement = membership is None
+        self._replicas_cache: Dict[RecordId, Tuple[str, ...]] = {}
+        self._master_node_cache: Dict[RecordId, str] = {}
         #: adaptive-policy state (None under the static policies).  Imported
         #: lazily: repro.placement depends on repro.core, not vice versa.
         self.tracker = None
@@ -143,12 +150,22 @@ class ReplicaMap:
     def partition_of(self, table: str, key: str) -> int:
         return stable_hash(f"{table}:{key}") % self.partitions_per_table
 
-    def replicas(self, record: RecordId) -> List[str]:
+    def replicas(self, record: RecordId) -> Sequence[str]:
         """One storage node per quorum-member data center, in DC order.
 
         Joining data centers are deliberately excluded: a replica being
         bootstrapped must never count toward a fast or classic quorum.
         """
+        if self._static_placement:
+            cached = self._replicas_cache.get(record)
+            if cached is None:
+                partition = self.partition_of(record.table, record.key)
+                cached = tuple(
+                    self.storage_node_id(dc, partition)
+                    for dc in self._datacenters
+                )
+                self._replicas_cache[record] = cached
+            return cached
         partition = self.partition_of(record.table, record.key)
         return [self.storage_node_id(dc, partition) for dc in self.datacenters]
 
@@ -223,6 +240,14 @@ class ReplicaMap:
             self.tracker.note(record, origin_dc, now)
 
     def master_node(self, record: RecordId) -> str:
+        if self._static_placement and self.tracker is None:
+            # Adaptive mastership migrates at runtime; everything else is a
+            # pure function of the record id and can be looked up once.
+            cached = self._master_node_cache.get(record)
+            if cached is None:
+                cached = self.replica_in(record, self.master_dc(record))
+                self._master_node_cache[record] = cached
+            return cached
         return self.replica_in(record, self.master_dc(record))
 
     def master_candidates(self, record: RecordId) -> List[str]:

@@ -195,9 +195,10 @@ class CounterSet:
         self._counters: Dict[str, Counter] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        self._counters[name].increment(amount)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.value += amount
 
     def get(self, name: str) -> int:
         counter = self._counters.get(name)

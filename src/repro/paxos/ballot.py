@@ -23,7 +23,7 @@ from typing import Optional, Tuple
 __all__ = ["Ballot", "BallotRange", "INITIAL_FAST_BALLOT"]
 
 
-@dataclass(frozen=True, order=False)
+@dataclass(frozen=True, order=False, slots=True)
 class Ballot:
     """A totally ordered ballot number.
 
@@ -80,7 +80,7 @@ class Ballot:
 INITIAL_FAST_BALLOT = Ballot(round=0, fast=True, proposer="")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BallotRange:
     """Mastership metadata ``[StartInstance, EndInstance, Fast, Ballot]``.
 
@@ -113,8 +113,16 @@ class BallotRange:
     @classmethod
     def default(cls) -> "BallotRange":
         """The paper's implicit default: ``[0, ∞, fast=true, ballot=0]``."""
-        return cls(start_instance=0, end_instance=None, ballot=INITIAL_FAST_BALLOT)
+        return _DEFAULT_RANGE
 
     def __repr__(self) -> str:
         end = "∞" if self.end_instance is None else str(self.end_instance)
         return f"BallotRange([{self.start_instance},{end}] {self.ballot!r})"
+
+
+#: The shared default-range instance — immutable, so every record's "no
+#: explicit mastership" state can be the same object, exactly as the paper
+#: stores the default metadata once rather than per record (§3.3.2).
+_DEFAULT_RANGE = BallotRange(
+    start_instance=0, end_instance=None, ballot=INITIAL_FAST_BALLOT
+)

@@ -77,6 +77,15 @@ class CStruct:
         self._commands = commands
         self._ids = frozenset(ids)
 
+    @classmethod
+    def _make(cls, commands: Tuple[Command, ...], ids: frozenset) -> "CStruct":
+        """Internal constructor for operations that already know the id set
+        is duplicate-free (append/replace) — skips re-hashing every command."""
+        new = cls.__new__(cls)
+        new._commands = commands
+        new._ids = ids
+        return new
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -108,9 +117,12 @@ class CStruct:
     # ------------------------------------------------------------------
     def append(self, command: Command) -> "CStruct":
         """``self • command`` — a new cstruct with ``command`` appended."""
-        if command.command_id in self._ids:
-            raise ValueError(f"command {command.command_id!r} already present")
-        return CStruct(self._commands + (command,))
+        command_id = command.command_id
+        if command_id in self._ids:
+            raise ValueError(f"command {command_id!r} already present")
+        return CStruct._make(
+            self._commands + (command,), self._ids | {command_id}
+        )
 
     def replace(self, command: Command) -> "CStruct":
         """A new cstruct with the same-id command swapped for ``command``.
@@ -124,7 +136,7 @@ class CStruct:
             command if cmd.command_id == command.command_id else cmd
             for cmd in self._commands
         )
-        return CStruct(replaced)
+        return CStruct._make(replaced, self._ids)
 
     # ------------------------------------------------------------------
     # Partial order ⊑

@@ -77,8 +77,13 @@ class MastershipState:
 
     def effective_range(self, instance: int) -> BallotRange:
         """The highest-ballot range covering ``instance`` (default if none)."""
+        ranges = self.ranges
+        if not ranges:
+            # The common case: a record that never left the default fast
+            # ballot stores no ranges at all (§3.3.2).
+            return BallotRange.default()
         best: Optional[BallotRange] = None
-        for granted in self.ranges:
+        for granted in ranges:
             if granted.covers(instance):
                 if best is None or granted.ballot > best.ballot:
                     best = granted

@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 __all__ = ["QuorumSpec", "classic_quorum_size", "min_fast_quorum_size"]
@@ -68,6 +69,7 @@ class QuorumSpec:
             )
 
     @classmethod
+    @lru_cache(maxsize=None)
     def for_replication(cls, n: int) -> "QuorumSpec":
         """Minimal sizes for ``n`` replicas — (3, 4) at the paper's n=5.
 

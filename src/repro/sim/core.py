@@ -115,14 +115,14 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         if yielded is None:
-            self.sim.schedule(0.0, self._step)
+            self.sim.post(0.0, self._step)
         elif isinstance(yielded, Future):
             yielded.add_done_callback(self._on_future)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 self._step(throw=SimulationError("negative process delay"))
                 return
-            self.sim.schedule(float(yielded), self._step)
+            self.sim.post(float(yielded), self._step)
         else:
             self._step(
                 throw=SimulationError(
@@ -134,9 +134,9 @@ class Process:
         # Resume on the next event so resolution-time callbacks finish first.
         if fut._exception is not None:
             exc = fut._exception
-            self.sim.schedule(0.0, self._step, None, exc)
+            self.sim.post(0.0, self._step, (None, exc))
         else:
-            self.sim.schedule(0.0, self._step, fut.result())
+            self.sim.post(0.0, self._step, (fut.result(),))
 
 
 class Simulator:
@@ -172,6 +172,22 @@ class Simulator:
         heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
+    def post(self, delay: float, callback: Callable, args: tuple = ()) -> None:
+        """Schedule a callback that will never be cancelled — no handle.
+
+        The hot-path variant of :meth:`schedule`: message deliveries and
+        process steps are fire-and-forget, so they skip the :class:`Event`
+        allocation and go on the heap as bare ``(time, seq, callback,
+        args)`` tuples.  Sequence numbers are unique, so heap ordering
+        never compares past the second element and the two entry shapes
+        mix freely.  Ordering is identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._seq), callback, args)
+        )
+
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> Event:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
@@ -185,13 +201,13 @@ class Simulator:
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a generator-based process immediately (at the current time)."""
         process = Process(self, generator, name=name)
-        self.schedule(0.0, process._step)
+        self.post(0.0, process._step)
         return process
 
     def sleep(self, delay: float) -> Future:
         """Return a future that resolves after ``delay`` ms."""
         fut = Future(self)
-        self.schedule(delay, fut.resolve, None)
+        self.post(delay, fut.resolve, (None,))
         return fut
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -210,29 +226,47 @@ class Simulator:
             raise SimulationError("Simulator.run() re-entered")
         self._running = True
         processed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        bounded = until is not None
+        capped = max_events is not None
         try:
-            while self._queue:
-                time, _seq, event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._queue)
-                self._now = time
-                event.callback(*event.args)
+            while queue:
+                entry = queue[0]
+                # Fire-and-forget 4-tuples are the common shape, so test
+                # for them first; only 3-tuple Event entries can cancel.
+                if len(entry) == 4:
+                    time = entry[0]
+                    if bounded and time > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        pop(queue)
+                        continue
+                    time = entry[0]
+                    if bounded and time > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    event.callback(*event.args)
                 processed += 1
-                self.events_processed += 1
-                if max_events is not None and processed > max_events:
+                if capped and processed > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
             else:
-                if until is not None and until > self._now:
+                if bounded and until > self._now:
                     self._now = until
         finally:
             self._running = False
+            # Flushed once per run: nothing reads the counter mid-drain.
+            self.events_processed += processed
         return processed
 
     def run_until(self, future: Future, limit: float = 1e9) -> Any:
@@ -250,15 +284,20 @@ class Simulator:
                     raise SimulationError(
                         "event queue drained before future resolved (deadlock?)"
                     )
-                time, _seq, event = heapq.heappop(self._queue)
-                if event.cancelled:
+                entry = heapq.heappop(self._queue)
+                if len(entry) == 3 and entry[2].cancelled:
                     continue
+                time = entry[0]
                 if time > limit:
                     raise SimulationError(
                         f"future unresolved at time limit {limit} ms"
                     )
                 self._now = time
-                event.callback(*event.args)
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    event.callback(*event.args)
                 self.events_processed += 1
         finally:
             self._running = False

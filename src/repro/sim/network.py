@@ -19,6 +19,10 @@ and composable per-link degradation policies (added latency, jitter, loss).
 from __future__ import annotations
 
 import math
+
+from math import cos as _cos, exp as _exp, log as _log, sin as _sin, sqrt as _sqrt
+
+_TWOPI = 2.0 * math.pi
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -83,9 +87,17 @@ class LatencyModel:
         self.processing_overhead = processing_overhead
         registry = rng_registry or RngRegistry(seed=0)
         self._rng = registry.stream("network.latency")
+        #: bound method: one attribute lookup saved per latency sample.
+        #: Must stay ``gauss`` — swapping the distribution (or the call
+        #: count) would shift the shared jitter stream and change every
+        #: downstream trajectory, breaking the byte-identity artifacts.
+        self._gauss = self._rng.gauss
         # Directional (src, dst) -> RTT table so the per-message hot path
         # avoids building a frozenset for every send.
         self._directional: Dict[Tuple[str, str], float] = {}
+        #: (src, dst) -> precomputed base_rtt/2, filled lazily: the jitter
+        #: multiplier is the only per-message math left in one_way().
+        self._half_rtt: Dict[Tuple[str, str], float] = {}
         self._known: set[str] = set()
         for pair, rtt in self.rtt_matrix.items():
             names = tuple(pair)
@@ -104,11 +116,20 @@ class LatencyModel:
         return rtt
 
     def one_way(self, src_dc: str, dst_dc: str) -> float:
-        """Sample a one-way latency in milliseconds."""
-        base = self.base_rtt(src_dc, dst_dc) / 2.0
-        if self.jitter_sigma > 0:
-            base *= math.exp(self._rng.gauss(0.0, self.jitter_sigma))
-        return base + self.processing_overhead
+        """Sample a one-way latency in milliseconds.
+
+        Draws exactly one ``gauss`` from the shared jitter stream per call
+        (when jitter is enabled) — the draw discipline the determinism
+        artifacts depend on.
+        """
+        half = self._half_rtt.get((src_dc, dst_dc))
+        if half is None:
+            half = self.base_rtt(src_dc, dst_dc) / 2.0
+            self._half_rtt[(src_dc, dst_dc)] = half
+        sigma = self.jitter_sigma
+        if sigma > 0:
+            half *= math.exp(self._gauss(0.0, sigma))
+        return half + self.processing_overhead
 
     def datacenters(self) -> Tuple[str, ...]:
         """All data centers mentioned in the matrix."""
@@ -272,6 +293,18 @@ class Network:
         self._listeners: List[Callable[[float, str, Dict[str, object]], None]] = []
         self.drop_rate = 0.0
         self.stats = NetworkStats()
+        #: True while no DC/node failure, partition or group split is in
+        #: force — lets :meth:`send` skip :meth:`_blocked_reason` entirely.
+        #: Maintained by every fault mutator via :meth:`_refresh_fault_flag`.
+        self._fault_free = True
+
+    def _refresh_fault_flag(self) -> None:
+        self._fault_free = not (
+            self._failed_dcs
+            or self._failed_nodes
+            or self._partitions
+            or self._groups is not None
+        )
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -313,6 +346,7 @@ class Network:
         if self._nodes.pop(node_id, None) is None:
             return
         self._failed_nodes.discard(node_id)
+        self._refresh_fault_flag()
         self._notify("node-deregistered", node_id=node_id)
 
     def reset_datacenter_faults(self, dc: str) -> None:
@@ -363,35 +397,75 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src_id: str, dst_id: str, message: object) -> None:
         """Send ``message`` from ``src_id`` to ``dst_id`` (fire and forget)."""
-        self.stats.note_sent(message)
-        src = self._nodes.get(src_id)
-        if src is None:
+        # Inlined stats.note_sent: this is the single hottest method in the
+        # simulator, called once per protocol message.
+        stats = self.stats
+        stats.messages_sent += 1
+        per_type = stats.per_type
+        name = message.__class__.__name__
+        # try/except subscripts beat .get on these always-hot dicts: the
+        # exceptional arms (a new message type, a deregistered node) are
+        # rare, and CPython try blocks cost nothing until they raise.
+        try:
+            per_type[name] += 1
+        except KeyError:
+            per_type[name] = 1
+        nodes = self._nodes
+        try:
+            src = nodes[src_id]
+        except KeyError:
             # A deregistered (decommissioned) node's residual timers may
             # still fire; its sends go nowhere — the process is gone.
-            self.stats.note_dropped("unknown-source")
+            stats.note_dropped("unknown-source")
             return
-        dst = self._nodes.get(dst_id)
-        if dst is None:
-            self.stats.note_dropped("unknown-destination")
+        try:
+            dst = nodes[dst_id]
+        except KeyError:
+            stats.note_dropped("unknown-destination")
             return
-        blocked = self._blocked_reason(src_id, src.dc, dst_id, dst.dc)
-        if blocked is not None:
-            self.stats.note_dropped(blocked)
-            return
-        if self.drop_rate > 0 and self._drop_rng.random() < self.drop_rate:
-            self.stats.note_dropped("random")
-            return
-        delay = self.latency.one_way(src.dc, dst.dc)
-        policy = self._link_policies.get(frozenset((src.dc, dst.dc)))
-        if policy is not None:
-            if policy.drop_rate > 0 and self._link_rng.random() < policy.drop_rate:
-                self.stats.note_dropped("link-policy")
+        if not self._fault_free:
+            blocked = self._blocked_reason(src_id, src.dc, dst_id, dst.dc)
+            if blocked is not None:
+                stats.note_dropped(blocked)
                 return
-            extra = policy.extra_latency_ms
-            if policy.jitter_sigma > 0:
-                extra *= math.exp(self._link_rng.gauss(0.0, policy.jitter_sigma))
-            delay += extra
-        self.sim.schedule(delay, self._deliver, dst_id, message, src_id)
+        if self.drop_rate > 0 and self._drop_rng.random() < self.drop_rate:
+            stats.note_dropped("random")
+            return
+        # Inlined LatencyModel.one_way — the per-message draw discipline
+        # (exactly one gauss when jitter is on) is preserved verbatim.
+        latency = self.latency
+        try:
+            half = latency._half_rtt[(src.dc, dst.dc)]
+        except KeyError:
+            half = latency.base_rtt(src.dc, dst.dc) / 2.0
+            latency._half_rtt[(src.dc, dst.dc)] = half
+        sigma = latency.jitter_sigma
+        if sigma > 0:
+            # Inlined random.Random.gauss (identical algorithm and draw
+            # count, including the cached second variate on the Random
+            # instance) — the stream stays bit-for-bit identical while
+            # the per-message method-call overhead goes away.
+            rng = latency._rng
+            z = rng.gauss_next
+            rng.gauss_next = None
+            if z is None:
+                x2pi = rng.random() * _TWOPI
+                g2rad = _sqrt(-2.0 * _log(1.0 - rng.random()))
+                z = _cos(x2pi) * g2rad
+                rng.gauss_next = _sin(x2pi) * g2rad
+            half *= _exp(z * sigma)
+        delay = half + latency.processing_overhead
+        if self._link_policies:
+            policy = self._link_policies.get(frozenset((src.dc, dst.dc)))
+            if policy is not None:
+                if policy.drop_rate > 0 and self._link_rng.random() < policy.drop_rate:
+                    stats.note_dropped("link-policy")
+                    return
+                extra = policy.extra_latency_ms
+                if policy.jitter_sigma > 0:
+                    extra *= math.exp(self._link_rng.gauss(0.0, policy.jitter_sigma))
+                delay += extra
+        self.sim.post(delay, self._deliver, (dst_id, message, src_id))
 
     def broadcast(self, src_id: str, dst_ids: Iterable[str], message: object) -> int:
         """Send the same message to several destinations; returns the count."""
@@ -402,17 +476,21 @@ class Network:
         return count
 
     def _deliver(self, dst_id: str, message: object, src_id: str) -> None:
-        dst = self._nodes.get(dst_id)
-        if dst is None:
+        try:
+            dst = self._nodes[dst_id]
+        except KeyError:
             self.stats.note_dropped("unknown-destination")
             return
-        # A DC or node that failed while the message was in flight loses it.
-        if dst.dc in self._failed_dcs:
-            self.stats.note_dropped("dc-failure")
-            return
-        if dst_id in self._failed_nodes:
-            self.stats.note_dropped("node-failure")
-            return
+        if not self._fault_free:
+            # A DC or node that failed while the message was in flight
+            # loses it.  (_fault_free is False whenever either set is
+            # non-empty, so the fast path cannot skip a real failure.)
+            if dst.dc in self._failed_dcs:
+                self.stats.note_dropped("dc-failure")
+                return
+            if dst_id in self._failed_nodes:
+                self.stats.note_dropped("node-failure")
+                return
         self.stats.messages_delivered += 1
         dst.on_message(message, src_id)
 
@@ -440,12 +518,14 @@ class Network:
         if dc in self._failed_dcs:
             return
         self._failed_dcs.add(dc)
+        self._fault_free = False
         self._notify("dc-failed", dc=dc)
 
     def recover_datacenter(self, dc: str) -> None:
         if dc not in self._failed_dcs:
             return
         self._failed_dcs.discard(dc)
+        self._refresh_fault_flag()
         self._notify("dc-recovered", dc=dc)
 
     def fail_node(self, node_id: str) -> None:
@@ -456,12 +536,14 @@ class Network:
         if node_id in self._failed_nodes:
             return
         self._failed_nodes.add(node_id)
+        self._fault_free = False
         self._notify("node-failed", node_id=node_id)
 
     def recover_node(self, node_id: str) -> None:
         if node_id not in self._failed_nodes:
             return
         self._failed_nodes.discard(node_id)
+        self._refresh_fault_flag()
         self._notify("node-recovered", node_id=node_id)
 
     def partition(self, dc_a: str, dc_b: str) -> None:
@@ -470,6 +552,7 @@ class Network:
         if pair in self._partitions:
             return
         self._partitions.add(pair)
+        self._fault_free = False
         self._notify("partitioned", pair=tuple(sorted(pair)))
 
     def heal_partition(self, dc_a: str, dc_b: str) -> None:
@@ -477,6 +560,7 @@ class Network:
         if pair not in self._partitions:
             return
         self._partitions.discard(pair)
+        self._refresh_fault_flag()
         self._notify("partition-healed", pair=tuple(sorted(pair)))
 
     def partition_groups(self, groups: Sequence[Sequence[str]]) -> None:
@@ -493,6 +577,7 @@ class Network:
                     raise SimulationError(f"DC {dc!r} appears in two groups")
                 assignment[dc] = index
         self._groups = assignment
+        self._fault_free = False
         self._notify(
             "partition-groups",
             groups=tuple(tuple(sorted(g)) for g in groups),
@@ -502,6 +587,7 @@ class Network:
         if self._groups is None:
             return
         self._groups = None
+        self._refresh_fault_flag()
         self._notify("partition-groups-cleared")
 
     def set_link_policy(self, dc_a: str, dc_b: str, policy: LinkPolicy) -> None:

@@ -16,9 +16,18 @@ from typing import List, Sequence
 __all__ = ["HashPartitioner", "RangePartitioner", "stable_hash"]
 
 
+#: memoized digests — placement hashes the same record keys on every
+#: message, and the key population is bounded by the workload's table size.
+_HASH_CACHE: dict = {}
+
+
 def stable_hash(key: str) -> int:
     """A process-independent 64-bit hash (``hash()`` is salted per run)."""
-    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+    cached = _HASH_CACHE.get(key)
+    if cached is None:
+        cached = int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+        _HASH_CACHE[key] = cached
+    return cached
 
 
 class RangePartitioner:

@@ -33,7 +33,7 @@ class _Tombstone:
 TOMBSTONE = _Tombstone()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecordVersion:
     """One committed version of a record.
 
@@ -50,7 +50,7 @@ class RecordVersion:
         return self.value is TOMBSTONE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Snapshot:
     """What a read returns: existence, a value copy, and the version read.
 
@@ -98,19 +98,35 @@ class Record:
     @property
     def current_version(self) -> int:
         """Version number of the latest committed state (0 if none)."""
-        return self._versions[-1].version if self._versions else 0
+        versions = self._versions
+        return versions[-1].version if versions else 0
 
     @property
     def exists(self) -> bool:
         """True if the latest committed version is live (not a tombstone)."""
-        return bool(self._versions) and not self._versions[-1].is_tombstone
+        versions = self._versions
+        return bool(versions) and versions[-1].value is not TOMBSTONE
 
     def snapshot(self) -> Snapshot:
         """A copy-safe view of the committed state."""
-        if not self.exists:
-            return Snapshot(exists=False, value=None, version=self.current_version)
-        latest = self._versions[-1]
+        versions = self._versions
+        if not versions:
+            return Snapshot(exists=False, value=None, version=0)
+        latest = versions[-1]
+        if latest.value is TOMBSTONE:
+            return Snapshot(exists=False, value=None, version=latest.version)
         return Snapshot(exists=True, value=dict(latest.value), version=latest.version)
+
+    def peek(self, attribute: str, default: object = None) -> object:
+        """Read one attribute of the committed value without the snapshot
+        copy — for decision paths that never hand the value onward."""
+        versions = self._versions
+        if not versions:
+            return default
+        latest = versions[-1]
+        if latest.value is TOMBSTONE:
+            return default
+        return latest.value.get(attribute, default)
 
     def version_chain(self) -> List[RecordVersion]:
         """The full committed history (copies of the dataclass entries)."""
@@ -150,18 +166,26 @@ class Record:
         Commutative updates apply to the latest committed value; the record
         must exist.
         """
-        if not self.exists:
+        versions = self._versions
+        if not versions or versions[-1].value is TOMBSTONE:
             raise ValueError(
                 f"commutative update on non-existent record {self.table}/{self.key}"
             )
-        latest = dict(self._versions[-1].value)
+        last = versions[-1]
+        latest = dict(last.value)
         current = latest.get(attribute, 0)
         if not isinstance(current, (int, float)):
             raise ValueError(
                 f"attribute {attribute!r} of {self.table}/{self.key} is not numeric"
             )
         latest[attribute] = current + delta
-        return self.commit_value(latest, option_id=option_id)
+        # ``latest`` is already a private copy; append it without the
+        # second copy commit_value would make.
+        next_version = last.version + 1
+        versions.append(RecordVersion(next_version, latest))
+        if option_id is not None:
+            self.applied_ids.add(option_id)
+        return next_version
 
     def catch_up(
         self,

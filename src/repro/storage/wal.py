@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 __all__ = ["LogEntry", "WriteAheadLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
     """One durable log record.
 
@@ -40,7 +40,15 @@ class WriteAheadLog:
 
     def append(self, kind: str, **payload: Any) -> LogEntry:
         """Durably record an entry; returns it with its assigned LSN."""
-        entry = LogEntry(lsn=self._next_lsn, kind=kind, payload=dict(payload))
+        # ``payload`` is already a fresh dict built for this call — adopting
+        # it directly avoids a copy on a per-learned-option hot path.
+        # Hand-rolled frozen-dataclass construction: one WAL entry per
+        # learned option makes the generated __init__ measurable.
+        entry = object.__new__(LogEntry)
+        _set = object.__setattr__
+        _set(entry, "lsn", self._next_lsn)
+        _set(entry, "kind", kind)
+        _set(entry, "payload", payload)
         self._next_lsn += 1
         self._entries.append(entry)
         return entry

@@ -266,12 +266,21 @@ class Node:
         return self.transport.broadcast(self.node_id, dst_ids, message)
 
     def on_message(self, message: object, src_id: str) -> None:
-        handler = self._resolve_handler(type(message))
+        # Single dict probe on the hot path: the cache maps message class
+        # to the *bound* handler, resolved once per (node, type).  A miss
+        # (None from .get) covers both "never resolved" and "no handler";
+        # the slow path tells them apart and raises on the latter.
+        try:
+            handler = self._handler_cache[message.__class__]
+        except KeyError:
+            handler = None
         if handler is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} {self.node_id!r} has no handler for "
-                f"{type(message).__name__}"
-            )
+            handler = self._resolve_handler(type(message))
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} {self.node_id!r} has no handler for "
+                    f"{type(message).__name__}"
+                )
         handler(message, src_id)
 
     def _resolve_handler(self, message_type: type) -> Optional[Callable]:

@@ -131,6 +131,7 @@ def encode(obj: Any) -> Any:
     fields = {
         field.name: encode(getattr(obj, field.name))
         for field in dataclasses.fields(obj)
+        if field.init  # non-init fields are derived caches, not payload
     }
     return {"__k": name, "f": fields}
 

@@ -1,0 +1,241 @@
+"""The typed scenario-spec API: signatures, JSON round-trip, shims.
+
+The spec dataclasses are a public contract: the golden-signature tests
+pin their exact field names and defaults so any change is a deliberate,
+reviewed act (specs are committed as JSON artifacts and must keep
+loading).  The shim tests pin the other half of the contract: legacy
+keyword calls and spec calls must produce identical simulated
+trajectories, byte for byte.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import ClusterSpec, ScenarioSpec, build_cluster, run_scenario
+from repro.bench.harness import run_scenario as legacy_run_scenario
+from repro.cli import main
+from repro.faults.schedule import named_schedule
+
+#: toy scale — same code paths as the paper-scale runs, seconds of CPU.
+SMALL = dict(clients=5, items=80, warmup_s=1.0, measure_s=6.0)
+
+
+def _signature(cls):
+    return [(f.name, f.default) for f in dataclasses.fields(cls)]
+
+
+def test_cluster_spec_golden_signature():
+    assert _signature(ClusterSpec) == [
+        ("protocol", "mdcc"),
+        ("datacenters", None),
+        ("partitions_per_table", 2),
+        ("master_policy", None),
+        ("seed", 1),
+        ("gamma_policy", "static"),
+        ("batch_ms", 0.0),
+        ("demarcation", True),
+        ("elastic", False),
+    ]
+
+
+def test_scenario_spec_golden_signature():
+    fields = _signature(ScenarioSpec)
+    assert fields[0][0] == "cluster"  # default_factory, no plain default
+    assert fields[1:] == [
+        ("workload", "micro"),
+        ("clients", 25),
+        ("items", 1_000),
+        ("warmup_s", 5.0),
+        ("measure_s", 30.0),
+        ("hotspot", None),
+        ("locality", None),
+        ("phase_s", 20.0),
+        ("audit", True),
+        ("fail_dc", None),
+        ("fail_at_s", None),
+        ("schedule", None),
+        ("bucket_s", 5.0),
+        ("victim", None),
+        ("replacement", None),
+        ("donor", None),
+    ]
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def test_spec_round_trips_through_json():
+    spec = ScenarioSpec(
+        cluster=ClusterSpec(
+            protocol="multi",
+            datacenters=("us-west", "us-east", "eu-west"),
+            master_policy="fixed:us-east",
+            seed=9,
+            batch_ms=5.0,
+        ),
+        workload="geoshift",
+        clients=7,
+        phase_s=4.0,
+    )
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_spec_json_is_canonical():
+    rendered = ScenarioSpec().to_json()
+    assert rendered.endswith("\n")
+    assert rendered == json.dumps(json.loads(rendered), indent=2, sort_keys=True) + "\n"
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="clientz"):
+        ScenarioSpec.from_dict({"clientz": 5})
+    with pytest.raises(ValueError, match="protocl"):
+        ClusterSpec.from_dict({"protocl": "mdcc"})
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="micro workload"):
+        ScenarioSpec(workload="tpcw", hotspot=0.1)
+    with pytest.raises(ValueError, match="unknown schedule"):
+        ScenarioSpec(schedule="meteor-strike")
+    with pytest.raises(ValueError, match="MDCC variant"):
+        ClusterSpec(protocol="2pc", master_policy="adaptive")
+    with pytest.raises(ValueError, match="dc-replace"):
+        ScenarioSpec(schedule="dc-outage", victim="us-east")
+    with pytest.raises(ValueError, match="control plane"):
+        ScenarioSpec(schedule="dc-replace", victim="us-west")
+
+
+# ----------------------------------------------------------------------
+# Legacy keyword shims: identical results, plus the warning
+# ----------------------------------------------------------------------
+def test_legacy_run_scenario_kwargs_match_spec_json():
+    spec = ScenarioSpec(
+        cluster=ClusterSpec(protocol="multi", seed=7),
+        schedule="dc-outage",
+        bucket_s=3.0,
+        **SMALL,
+    )
+    via_spec = run_scenario(spec)
+    schedule = named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0)
+    with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
+        via_kwargs = run_scenario(
+            schedule,
+            variant="multi",
+            num_clients=5,
+            num_items=80,
+            warmup_ms=1_000.0,
+            measure_ms=6_000.0,
+            seed=7,
+            bucket_ms=3_000.0,
+        )
+    assert json.dumps(via_spec.as_dict(), sort_keys=True) == json.dumps(
+        via_kwargs.as_dict(), sort_keys=True
+    )
+
+
+def test_shimmed_and_direct_harness_calls_agree():
+    """api.run_scenario(schedule, ...) is a pure pass-through."""
+    schedule = named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0)
+    kwargs = dict(
+        variant="mdcc",
+        num_clients=4,
+        num_items=60,
+        warmup_ms=1_000.0,
+        measure_ms=6_000.0,
+        seed=3,
+    )
+    with pytest.warns(DeprecationWarning):
+        shimmed = run_scenario(
+            named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0),
+            **kwargs,
+        )
+    direct = legacy_run_scenario(schedule, **kwargs)
+    assert shimmed.as_dict() == direct.as_dict()
+
+
+def test_legacy_build_cluster_warns_and_matches_spec():
+    with pytest.warns(DeprecationWarning, match="ClusterSpec"):
+        legacy = build_cluster("fast", seed=11, partitions_per_table=1)
+    via_spec = build_cluster(
+        ClusterSpec(protocol="fast", seed=11, partitions_per_table=1)
+    )
+    assert legacy.protocol == via_spec.protocol == "fast"
+    assert sorted(legacy.storage_nodes) == sorted(via_spec.storage_nodes)
+    assert legacy.config == via_spec.config
+
+
+def test_spec_entry_points_reject_stray_kwargs():
+    with pytest.raises(TypeError, match="self-contained"):
+        build_cluster(ClusterSpec(), seed=3)
+    with pytest.raises(TypeError, match="self-contained"):
+        run_scenario(ScenarioSpec(), num_clients=3)
+
+
+# ----------------------------------------------------------------------
+# CLI integration: --spec files and the envelope's spec block
+# ----------------------------------------------------------------------
+def test_run_spec_file_and_envelope(tmp_path, capsys):
+    spec = ScenarioSpec(cluster=ClusterSpec(seed=5), **SMALL)
+    path = tmp_path / "scenario.json"
+    path.write_text(spec.to_json())
+    code = main(["run", "--spec", str(path), "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["commits"] > 0
+    assert payload["spec"] == spec.to_dict()
+    # ...and the spec round-trips out of the envelope back into a run.
+    assert ScenarioSpec.from_dict(payload["spec"]) == spec
+
+
+def test_run_spec_file_matches_flag_invocation(capsys, tmp_path):
+    flags = ["--clients", "5", "--items", "80", "--warmup-s", "1",
+             "--measure-s", "6", "--seed", "5", "--json"]
+    assert main(["run", "--protocol", "mdcc", *flags]) == 0
+    via_flags = capsys.readouterr().out
+    # master_policy="hash" pins the argparse default; a spec leaving it
+    # None runs identically but renders a different envelope block.
+    spec = ScenarioSpec(cluster=ClusterSpec(seed=5, master_policy="hash"), **SMALL)
+    path = tmp_path / "scenario.json"
+    path.write_text(spec.to_json())
+    assert main(["run", "--spec", str(path), "--json"]) == 0
+    via_spec = capsys.readouterr().out
+    assert via_flags == via_spec  # identical JSON, byte for byte
+
+
+def test_run_spec_file_scheduled_scenario(tmp_path, capsys):
+    spec = ScenarioSpec(
+        cluster=ClusterSpec(protocol="mdcc", seed=7),
+        schedule="dc-outage",
+        bucket_s=3.0,
+        **SMALL,
+    )
+    path = tmp_path / "chaos.json"
+    path.write_text(spec.to_json())
+    code = main(["run", "--spec", str(path)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schedule"] == "dc-outage"
+    assert payload["invariants"]["clean"] is True
+    assert payload["spec"] == spec.to_dict()
+
+
+def test_run_spec_file_bad_spec_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"workload": "quantum"}')
+    with pytest.raises(SystemExit, match="bad scenario spec"):
+        main(["run", "--spec", str(path)])
+
+
+def test_chaos_envelope_carries_spec(capsys):
+    code = main(
+        ["chaos", "dc-outage", "--clients", "5", "--items", "80",
+         "--warmup-s", "1", "--measure-s", "6", "--bucket-s", "3"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    assert spec.schedule == "dc-outage"
+    assert spec.cluster.protocol == "mdcc"

@@ -1,16 +1,24 @@
-"""`repro bench` determinism and the new CLI subcommands.
+"""`repro bench` determinism, the --compare gate and CLI subcommands.
 
-The bench artifact is the CI-uploaded perf baseline: every number is
-simulated-time derived, so two runs at the same seed must render
-byte-identical JSON (CI ``cmp``s them).  Tests use a shrunken
-measurement window — same code path, a fraction of the wall time.
+The bench artifact is the committed perf baseline CI gates against:
+every simulated-time number must be byte-identical across runs at the
+same seed once the machine-dependent ``wallclock`` block is stripped
+(CI asserts exactly that).  Tests use a shrunken measurement window —
+same code path, a fraction of the wall time.
 """
 
+import copy
 import json
 
 import pytest
 
-from repro.bench.perf import BENCH_SCHEMA, render_bench_json, run_bench
+from repro.bench.perf import (
+    BENCH_SCHEMA,
+    compare_to_baseline,
+    render_bench_json,
+    run_bench,
+    strip_wallclock,
+)
 from repro.cli import main
 
 #: full-size params take ~30s/run; this is the same path in ~2s.
@@ -26,41 +34,111 @@ SMALL = {
 @pytest.fixture(scope="module")
 def payloads():
     return (
-        render_bench_json(run_bench(seed=3, overrides=SMALL)),
-        render_bench_json(run_bench(seed=3, overrides=SMALL)),
+        run_bench(seed=3, overrides=SMALL),
+        run_bench(seed=3, overrides=SMALL),
     )
 
 
-def test_bench_is_byte_identical_across_runs(payloads):
+def test_bench_is_byte_identical_across_runs_sans_wallclock(payloads):
     first, second = payloads
-    assert first == second
+    assert render_bench_json(strip_wallclock(first)) == render_bench_json(
+        strip_wallclock(second)
+    )
 
 
 def test_bench_payload_shape(payloads):
-    payload = json.loads(payloads[0])
+    payload = payloads[0]
     assert payload["schema"] == BENCH_SCHEMA
     assert payload["seed"] == 3
     assert set(payload["results"]) == {"mdcc", "fast", "multi"}
+    assert set(payload["wallclock"]) == {"mdcc", "fast", "multi"}
     for result in payload["results"].values():
         assert result["commits"] > 0
         assert result["events"] > 0
         assert result["commits_per_sim_s"] > 0
         assert result["events_per_sim_s"] > 0
+        assert result["messages_per_sim_s"] > 0
+        messages = result["messages"]
+        assert messages["sent"] >= messages["delivered"] > 0
+        assert messages["per_type"]
+        assert sum(messages["per_type"].values()) == messages["sent"]
+        # the per-type breakdown is part of the deterministic view, so
+        # its key order must be canonical.
+        assert list(messages["per_type"]) == sorted(messages["per_type"])
+    for wall in payload["wallclock"].values():
+        assert wall["wall_s"] > 0
+        assert wall["events_per_wall_s"] > 0
+
+
+def test_wallclock_is_excluded_from_identity_view(payloads):
+    payload = payloads[0]
+    assert "wallclock" in payload
+    assert "wallclock" not in strip_wallclock(payload)
 
 
 def test_bench_differs_across_seeds():
-    first = render_bench_json(run_bench(seed=3, overrides=SMALL))
-    second = render_bench_json(run_bench(seed=4, overrides=SMALL))
-    assert first != second
+    first = run_bench(seed=3, overrides=SMALL)
+    second = run_bench(seed=4, overrides=SMALL)
+    assert strip_wallclock(first) != strip_wallclock(second)
 
 
 def test_bench_renders_sorted_and_newline_terminated(payloads):
-    payload = payloads[0]
-    assert payload.endswith("\n")
-    assert payload == json.dumps(json.loads(payload), indent=2, sort_keys=True) + "\n"
+    rendered = render_bench_json(payloads[0])
+    assert rendered.endswith("\n")
+    assert rendered == json.dumps(json.loads(rendered), indent=2, sort_keys=True) + "\n"
 
 
-def test_bench_cli_writes_artifact(tmp_path, capsys):
+# ----------------------------------------------------------------------
+# --compare gate
+# ----------------------------------------------------------------------
+def test_compare_passes_against_itself(payloads):
+    # Neutralize the machine-dependent block: two tiny back-to-back runs
+    # can differ >10% in wall time, and that's not what this test gates.
+    current = copy.deepcopy(payloads[1])
+    current["wallclock"] = copy.deepcopy(payloads[0]["wallclock"])
+    assert compare_to_baseline(current, payloads[0]) == []
+
+
+def test_compare_fails_on_deterministic_drift(payloads):
+    baseline = copy.deepcopy(payloads[0])
+    baseline["results"]["mdcc"]["commits"] += 1
+    failures = compare_to_baseline(payloads[1], baseline)
+    assert failures
+    assert any("deterministic drift" in f for f in failures)
+
+
+def test_compare_fails_on_wallclock_regression(payloads):
+    baseline = copy.deepcopy(payloads[0])
+    current = copy.deepcopy(payloads[1])
+    # Anchor on the baseline's wallclock so the *ratio under test* is
+    # exact — two real tiny runs differ by unbounded machine noise.
+    current["wallclock"] = copy.deepcopy(baseline["wallclock"])
+    for wall in current["wallclock"].values():
+        wall["events_per_wall_s"] = wall["events_per_wall_s"] * 0.5
+    failures = compare_to_baseline(current, baseline)
+    assert failures
+    assert any("regressed" in f for f in failures)
+
+
+def test_compare_tolerates_faster_and_slightly_slower(payloads):
+    baseline = copy.deepcopy(payloads[0])
+    current = copy.deepcopy(payloads[1])
+    current["wallclock"] = copy.deepcopy(baseline["wallclock"])
+    rates = iter([2.0, 0.95, 1.0])
+    for wall in current["wallclock"].values():
+        wall["events_per_wall_s"] = wall["events_per_wall_s"] * next(rates)
+    assert compare_to_baseline(current, baseline) == []
+
+
+def test_compare_fails_on_schema_mismatch(payloads):
+    baseline = copy.deepcopy(payloads[0])
+    baseline["schema"] = "bench_sim_core/v1"
+    failures = compare_to_baseline(payloads[1], baseline)
+    assert failures
+    assert any("schema mismatch" in f for f in failures)
+
+
+def test_bench_cli_writes_artifact_and_gates(tmp_path, capsys):
     out = tmp_path / "BENCH_sim_core.json"
     code = main(
         ["bench", "--seed", "3", "--output", str(out), "--measure-s", "1.0"]
@@ -69,6 +147,51 @@ def test_bench_cli_writes_artifact(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert payload["schema"] == BENCH_SCHEMA
     assert payload["params"]["measure_ms"] == 1_000.0
+    # gate a rerun against the artifact we just wrote: must pass
+    rerun = tmp_path / "rerun.json"
+    code = main(
+        [
+            "bench",
+            "--seed",
+            "3",
+            "--output",
+            str(rerun),
+            "--measure-s",
+            "1.0",
+            "--compare",
+            str(out),
+            # wall-clock on a busy test box is noisy at this tiny scale;
+            # the determinism half of the gate is the point here.
+            "--regression-tolerance",
+            "0.95",
+        ]
+    )
+    assert code == 0
+
+
+def test_bench_cli_compare_exits_nonzero_on_drift(tmp_path, capsys):
+    out = tmp_path / "baseline.json"
+    assert (
+        main(["bench", "--seed", "3", "--output", str(out), "--measure-s", "1.0"])
+        == 0
+    )
+    baseline = json.loads(out.read_text())
+    baseline["results"]["mdcc"]["commits"] += 1
+    out.write_text(json.dumps(baseline))
+    code = main(
+        [
+            "bench",
+            "--seed",
+            "3",
+            "--output",
+            "-",
+            "--measure-s",
+            "1.0",
+            "--compare",
+            str(out),
+        ]
+    )
+    assert code == 1
 
 
 def test_topology_cli_writes_file(tmp_path, capsys):

@@ -244,6 +244,24 @@ def test_every_message_type_has_a_sample():
     )
 
 
+def test_every_registered_type_declares_slots():
+    """Messages are the simulator's hot allocation path: a type without
+    ``__slots__`` grows a per-instance ``__dict__`` and silently gives
+    back the memory/speed the slotted dataclasses bought."""
+    for cls in (*codec.MESSAGE_TYPES, *codec.VALUE_TYPES):
+        assert "__slots__" in cls.__dict__, (
+            f"{cls.__name__} must declare __slots__ "
+            "(dataclass(frozen=True, slots=True) or an explicit tuple)"
+        )
+    # Declaring __slots__ is not enough — a base class without them still
+    # reintroduces the per-instance dict, so check real instances too.
+    for name, sample in SAMPLES.items():
+        assert not hasattr(sample, "__dict__"), (
+            f"{name} instances carry a __dict__ — a base class without "
+            "__slots__ crept into its MRO"
+        )
+
+
 @pytest.mark.parametrize("name", sorted(SAMPLES))
 def test_round_trip_lossless(name):
     original = SAMPLES[name]
