@@ -160,6 +160,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="tcp only: transactions each driver client issues",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a causal trace of every transaction to FILE "
+        "(repro.trace artifact JSON); the run's own output is unchanged",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario with causal tracing on and emit the trace artifact",
+        description="Runs one MDCC-variant scenario with the deterministic "
+        "tracer installed and writes the trace artifact: every transaction's "
+        "spans (fast-accept, phase1-takeover, phase2-tally, visibility "
+        "fan-out, recovery escalation) with abort/slow-path attributions, "
+        "plus per-node counter and latency metrics.  Byte-identical across "
+        "runs at the same seed.  --explain TXN_ID prints one transaction's "
+        "causal timeline as an indented tree.",
+    )
+    _experiment_args(trace)
+    trace.add_argument(
+        "--protocol",
+        choices=("mdcc", "fast", "multi"),
+        default="mdcc",
+        help="MDCC protocol variant to trace",
+    )
+    trace.add_argument(
+        "--schedule",
+        choices=NAMED_SCHEDULES,
+        default=None,
+        help="optionally replay a named fault schedule while tracing",
+    )
+    trace.add_argument(
+        "--out",
+        default="-",
+        metavar="FILE",
+        help="trace artifact path ('-' for stdout, the default)",
+    )
+    trace.add_argument(
+        "--explain",
+        default=None,
+        metavar="TXN_ID",
+        help="print the causal timeline of one transaction instead of "
+        "the artifact (combine with --out FILE to also keep the artifact)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -275,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the full chaos event log in the output",
     )
+    chaos.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a causal trace of the scenario to FILE",
+    )
 
     reconfig = sub.add_parser(
         "reconfig",
@@ -326,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         action="store_true",
         help="include the full chaos event log in the output",
+    )
+    reconfig.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a causal trace of the scenario to FILE",
     )
 
     lister = sub.add_parser(
@@ -458,7 +515,9 @@ def _spec_from_args(
 
 def _run_one(protocol: str, args: argparse.Namespace):
     spec = _spec_from_args(args, protocol)
-    return spec, run_scenario(spec)
+    return spec, _run_traced(
+        args.seed, getattr(args, "trace", None), lambda: run_scenario(spec)
+    )
 
 
 def _as_dict(result: ExperimentResult, spec: ScenarioSpec) -> dict:
@@ -492,9 +551,88 @@ def _scenario_payload(
     return payload
 
 
+def _run_traced(seed: int, trace_path: Optional[str], runner):
+    """Run ``runner`` with tracing installed when ``trace_path`` is set.
+
+    The trace artifact goes to ``trace_path``; the runner's own result
+    (and therefore the command's stdout envelope) is unchanged — the
+    simulated trajectory is byte-identical with tracing on or off.
+    """
+    if trace_path is None:
+        return runner()
+    from repro.trace import (
+        MetricsRegistry,
+        Tracer,
+        build_artifact,
+        render_artifact_json,
+    )
+    from repro.trace import runtime as trace_runtime
+
+    tracer = Tracer(seed=seed)
+    registry = MetricsRegistry()
+    trace_runtime.install(tracer, registry)
+    try:
+        result = runner()
+    finally:
+        trace_runtime.uninstall()
+    artifact = build_artifact(tracer, registry)
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        handle.write(render_artifact_json(artifact))
+    print(
+        f"wrote {trace_path} ({artifact['summary']['spans']} spans, "
+        f"{artifact['summary']['traces']} traces)",
+        file=sys.stderr,
+    )
+    return result
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: one traced scenario, artifact + timeline views."""
+    from repro.trace import (
+        MetricsRegistry,
+        Tracer,
+        build_artifact,
+        render_artifact_json,
+        render_explain,
+    )
+    from repro.trace import runtime as trace_runtime
+    from repro.trace.explain import spans_for_txid
+
+    spec = _spec_from_args(args, args.protocol, schedule=args.schedule)
+    tracer = Tracer(seed=args.seed)
+    registry = MetricsRegistry()
+    trace_runtime.install(tracer, registry)
+    try:
+        result = run_scenario(spec)
+    finally:
+        trace_runtime.uninstall()
+    if isinstance(result, ScenarioResult):
+        payload = _scenario_payload(result, spec, include_events=False)
+    else:
+        payload = _as_dict(result, spec)
+    artifact = build_artifact(tracer, registry, result=payload)
+    rendered = render_artifact_json(artifact)
+    if args.out == "-":
+        if args.explain is None:
+            sys.stdout.write(rendered)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(
+            f"wrote {args.out} ({artifact['summary']['spans']} spans, "
+            f"{artifact['summary']['traces']} traces)",
+            file=sys.stderr,
+        )
+    if args.explain is not None:
+        print(render_explain(tracer, args.explain).rstrip("\n"))
+        if not spans_for_txid(tracer, args.explain):
+            return 1
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args, args.variant, schedule=args.schedule)
-    result = run_scenario(spec)
+    result = _run_traced(args.seed, args.trace, lambda: run_scenario(spec))
     payload = _scenario_payload(result, spec, args.events)
     print(json.dumps(payload, indent=2))
     return 0 if result.clean else 1
@@ -504,7 +642,7 @@ def _run_reconfig(args: argparse.Namespace) -> int:
     spec = _spec_from_args(
         args, args.variant, schedule="dc-replace", elastic=True
     )
-    result = run_scenario(spec)
+    result = _run_traced(args.seed, args.trace, lambda: run_scenario(spec))
     payload = _scenario_payload(result, spec, args.events)
     membership = payload["membership"] or {}
     # The replacement must be a member AND have been admitted inside the
@@ -533,7 +671,9 @@ def _run_spec_file(args: argparse.Namespace) -> int:
         spec = ScenarioSpec.from_json(text)
     except (ValueError, TypeError) as exc:
         raise SystemExit(f"bad scenario spec {args.spec!r}: {exc}")
-    result = run_scenario(spec)
+    result = _run_traced(
+        spec.cluster.seed, args.trace, lambda: run_scenario(spec)
+    )
     if isinstance(result, ScenarioResult):
         payload = _scenario_payload(result, spec, include_events=False)
         print(json.dumps(payload, indent=2))
@@ -655,11 +795,15 @@ def _run_tcp(args: argparse.Namespace) -> int:
         raise SystemExit("--transport tcp requires --topology (see `repro topology`)")
     if args.workload != "micro":
         raise SystemExit("the tcp transport currently drives the micro workload only")
-    result = run_tcp_workload(
-        args.topology,
-        clients=args.clients,
-        transactions_per_client=args.txns_per_client,
-        spawn_servers=args.spawn_servers,
+    result = _run_traced(
+        args.seed,
+        args.trace,
+        lambda: run_tcp_workload(
+            args.topology,
+            clients=args.clients,
+            transactions_per_client=args.txns_per_client,
+            spawn_servers=args.spawn_servers,
+        ),
     )
     print(json.dumps(result, indent=2, sort_keys=True))
     ok = result["committed"] > 0 and not result.get("servers_killed")
@@ -680,6 +824,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_topology(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "run" and args.transport == "tcp":
         if args.spec is not None:
             raise SystemExit("--spec drives the sim transport only")

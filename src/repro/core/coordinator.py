@@ -48,6 +48,7 @@ from repro.core.options import (
 )
 from repro.core.topology import ReplicaMap
 from repro.metrics import CounterSet
+from repro.trace import runtime as trace_runtime
 from repro.transport.base import Future, Node, Transport
 
 __all__ = ["MDCCCoordinator", "TransactionOutcome", "WriteSet"]
@@ -175,7 +176,13 @@ class MDCCCoordinator(Node):
         self._fast_ballots = config.fast_ballots_enabled
         #: static clusters never change quorum sizes, so resolve once.
         self._static_spec = None if self._elastic else config.quorums
-        self.counters = counters if counters is not None else CounterSet()
+        self.counters = trace_runtime.scoped_counters(
+            node_id, counters if counters is not None else CounterSet()
+        )
+        self.tracer = trace_runtime.current_tracer()
+        #: txid -> open root span (traced runs only; _TxState has slots-free
+        #: fields fixed by the dataclass, so spans live here).
+        self._tx_spans: Dict[str, object] = {}
         self._transactions: Dict[str, _TxState] = {}
         self._txid_seq = itertools.count(1)
         self._read_seq = itertools.count(1)
@@ -289,8 +296,20 @@ class MDCCCoordinator(Node):
             started_at=self.now,
         )
         self._transactions[txid] = tx
-        for option in options.values():
-            self._propose(tx, option)
+        if self.tracer.enabled:
+            root = self.tracer.start_trace(
+                txid, self.node_id, self.now, records=len(records)
+            )
+            self._tx_spans[txid] = root
+            previous = trace_runtime.set_context(root.ctx)
+            try:
+                for option in options.values():
+                    self._propose(tx, option)
+            finally:
+                trace_runtime.reset_context(previous)
+        else:
+            for option in options.values():
+                self._propose(tx, option)
         self.set_timer(self.config.learn_timeout_ms, self._learn_timeout, txid)
         self.counters.increment("coordinator.transactions")
         return future
@@ -328,6 +347,16 @@ class MDCCCoordinator(Node):
             # A vote cast under the previous configuration: dropping it is
             # what keeps a fast quorum from straddling a resize.
             self.counters.increment("reconfig.stale_epoch_dropped")
+            if self.tracer.enabled:
+                root = self._tx_spans.get(tx.txid)
+                if root is not None:
+                    root.event(
+                        self.now,
+                        "stale-epoch",
+                        option_id=message.option_id,
+                        vote_epoch=message.epoch,
+                        epoch=epoch,
+                    )
             return
         tally = tx.tallies.get(message.option_id)
         if tally is None:
@@ -390,15 +419,39 @@ class MDCCCoordinator(Node):
     def _send_recovery(self, tx: _TxState, option: Option, reason: str) -> None:
         candidates = self.placement.master_candidates(option.record)
         target = candidates[tx.recovery_round % len(candidates)]
-        self.send(
-            target,
-            StartRecovery(
-                record=option.record,
-                reason=reason,
-                option=option,
-                reply_to=self.node_id,
-            ),
+        message = StartRecovery(
+            record=option.record,
+            reason=reason,
+            option=option,
+            reply_to=self.node_id,
         )
+        if self.tracer.enabled:
+            # Slow-path attribution at the decision site: the reason the
+            # fast path was abandoned (collision / timeout /
+            # commutative-limit) lands on the transaction's root span, and
+            # the escalation itself becomes a span so the master's
+            # phase1-takeover stitches under it.
+            root = self._tx_spans.get(tx.txid)
+            span = self.tracer.start_span(
+                "recovery-escalation",
+                self.node_id,
+                self.now,
+                parent=root.ctx if root is not None else None,
+                txid=tx.txid,
+                reason=reason,
+                target=target,
+                record=f"{option.record.table}/{option.record.key}",
+            )
+            if root is not None:
+                root.event(self.now, reason, option_id=option.option_id)
+            previous = trace_runtime.set_context(span.ctx)
+            try:
+                self.send(target, message)
+            finally:
+                trace_runtime.reset_context(previous)
+            span.finish(self.now, "sent")
+        else:
+            self.send(target, message)
 
     def _learn_timeout(self, txid: str) -> None:
         tx = self._transactions.get(txid)
@@ -422,13 +475,40 @@ class MDCCCoordinator(Node):
         committed = all(
             status is OptionStatus.ACCEPTED for status in tx.learned.values()
         )
-        for option in tx.options.values():
-            visibility = Visibility(option=option, committed=committed)
-            # Repair scope, not quorum scope: joining replicas receive
-            # visibilities too, so a bootstrapping DC tracks live commits
-            # instead of deferring everything to the catch-up sweeps.
-            for replica in self.placement.replicas_for_repair(option.record):
-                self._send_visibility(replica, visibility)
+        if self.tracer.enabled:
+            root = self._tx_spans.pop(tx.txid, None)
+            fanout = self.tracer.start_span(
+                "visibility-fanout",
+                self.node_id,
+                self.now,
+                parent=root.ctx if root is not None else None,
+                txid=tx.txid,
+                options=len(tx.options),
+                committed=committed,
+            )
+            previous = trace_runtime.set_context(fanout.ctx)
+            try:
+                for option in tx.options.values():
+                    visibility = Visibility(option=option, committed=committed)
+                    for replica in self.placement.replicas_for_repair(option.record):
+                        self._send_visibility(replica, visibility)
+            finally:
+                trace_runtime.reset_context(previous)
+            fanout.finish(self.now, "sent")
+            if root is not None:
+                root.attrs["fast_path"] = not tx.learned_via_master
+                root.finish(self.now, "committed" if committed else "aborted")
+            trace_runtime.record_latency(
+                self.node_id, self.now - tx.started_at, tx.started_at
+            )
+        else:
+            for option in tx.options.values():
+                visibility = Visibility(option=option, committed=committed)
+                # Repair scope, not quorum scope: joining replicas receive
+                # visibilities too, so a bootstrapping DC tracks live commits
+                # instead of deferring everything to the catch-up sweeps.
+                for replica in self.placement.replicas_for_repair(option.record):
+                    self._send_visibility(replica, visibility)
         outcome = TransactionOutcome(
             txid=tx.txid,
             committed=committed,

@@ -39,6 +39,7 @@ from repro.paxos.ballot import Ballot, BallotRange, INITIAL_FAST_BALLOT
 from repro.paxos.cstruct import CStruct
 from repro.paxos.generalized import CStructReport, proved_safe
 from repro.storage.partition import stable_hash
+from repro.trace import runtime as trace_runtime
 
 __all__ = ["MasterRole"]
 
@@ -78,6 +79,11 @@ class _MasterRecordState:
     round_epoch: int = 0
     #: placement manager to notify once a migration takeover decides.
     migration_notify: Optional[str] = None
+    #: tracing: parent context captured from the triggering message, and
+    #: the open phase span for the in-flight round (None when tracing is
+    #: off — these fields stay at their defaults and cost nothing).
+    trace_ctx: Optional[tuple] = None
+    trace_span: Optional[object] = None
 
 
 class MasterRole:
@@ -113,6 +119,39 @@ class MasterRole:
         if ms is None:
             ms = self._records[record] = _MasterRecordState()
         return ms
+
+    def _trace_phase(self, kind: str, record: RecordId, ms: _MasterRecordState, **attrs):
+        """Open a phase span for this record's in-flight round.
+
+        Parents to the ambient context (the message that triggered the
+        round) when present, else the context remembered from the round
+        that queued the work; falls back to root-parenting via the first
+        queued option's txid.  Returns None when tracing is off or no
+        anchor exists.  An unfinished prior phase span is closed as
+        superseded so restarts never leak open spans.
+        """
+        tracer = self.node.tracer
+        if not tracer.enabled:
+            return None
+        ctx = trace_runtime.current_context() or ms.trace_ctx
+        txid = ms.queue[0].txid if ms.queue else None
+        if ctx is None and txid is None:
+            return None
+        if ms.trace_span is not None:
+            ms.trace_span.finish(self.node.now, "superseded")
+        span = tracer.start_span(
+            kind,
+            self.node.node_id,
+            self.node.now,
+            parent=ctx,
+            txid=txid,
+            record=f"{record.table}/{record.key}",
+            **attrs,
+        )
+        if ctx is not None:
+            ms.trace_ctx = ctx
+        ms.trace_span = span
+        return span
 
     # ------------------------------------------------------------------
     # Inbound: proposals routed through the master
@@ -166,16 +205,29 @@ class MasterRole:
         version = self._local_version(record)
         grant = BallotRange(version, None, ballot)
         replicas = self.node.placement.replicas(record)
-        for replica in replicas:
-            self.node.send(
-                replica,
-                MPhase1a(
-                    record=record,
-                    ballot=ballot,
-                    grant=grant,
-                    epoch=ms.round_epoch,
-                ),
-            )
+        span = self._trace_phase(
+            "phase1-takeover",
+            record,
+            ms,
+            ballot=repr(ballot),
+            reason=ms.recovery_reason or "route",
+            epoch=ms.round_epoch,
+        )
+        previous = trace_runtime.set_context(span.ctx) if span is not None else None
+        try:
+            for replica in replicas:
+                self.node.send(
+                    replica,
+                    MPhase1a(
+                        record=record,
+                        ballot=ballot,
+                        grant=grant,
+                        epoch=ms.round_epoch,
+                    ),
+                )
+        finally:
+            if span is not None:
+                trace_runtime.reset_context(previous)
         self.node.set_timer(
             self.config.recovery_timeout_ms + self._stagger(ms.round_counter),
             self._phase1_timeout,
@@ -254,6 +306,9 @@ class MasterRole:
         normalized = self._normalize(record, list(safe), newest)
         ms.established = True
         ms.phase = "idle"
+        if ms.trace_span is not None:
+            ms.trace_span.finish(self.node.now, "established")
+            ms.trace_span = None
         self._prepare_mode_switch(record, newest)
         self._start_phase2(record, normalized)
 
@@ -462,6 +517,13 @@ class MasterRole:
     def _start_phase2(self, record: RecordId, base_cstruct: CStruct) -> None:
         ms = self._state(record)
         assert ms.ballot is not None
+        span = self._trace_phase(
+            "phase2-tally",
+            record,
+            ms,
+            ballot=repr(ms.ballot),
+            epoch=self._epoch(),
+        )
         self._prune_live(record, ms)
         cstruct = base_cstruct
         for option in ms.live.values():
@@ -484,8 +546,15 @@ class MasterRole:
             new_base=ms.pending_new_base,
             epoch=ms.round_epoch,
         )
-        for replica in self.node.placement.replicas(record):
-            self.node.send(replica, message)
+        if span is not None:
+            span.attrs["options"] = sum(1 for _ in cstruct)
+        previous = trace_runtime.set_context(span.ctx) if span is not None else None
+        try:
+            for replica in self.node.placement.replicas(record):
+                self.node.send(replica, message)
+        finally:
+            if span is not None:
+                trace_runtime.reset_context(previous)
         self.node.set_timer(
             self.config.recovery_timeout_ms + self._stagger(ms.round_counter + 7),
             self._phase2_timeout,
@@ -586,14 +655,24 @@ class MasterRole:
         ms.recovery_reason = None
         cstruct = ms.phase2_cstruct
         ms.phase2_cstruct = None
-        for option in cstruct:
-            status = decided[option.option_id]
-            ms.outcome_cache[option.option_id] = status
-            if status is OptionStatus.ACCEPTED:
-                ms.live[option.option_id] = option.with_status(status)
-            else:
-                ms.live.pop(option.option_id, None)
-            self._notify(record, option, status)
+        span = ms.trace_span
+        if span is not None:
+            span.finish(self.node.now, "decided")
+            ms.trace_span = None
+            ms.trace_ctx = None
+        previous = trace_runtime.set_context(span.ctx) if span is not None else None
+        try:
+            for option in cstruct:
+                status = decided[option.option_id]
+                ms.outcome_cache[option.option_id] = status
+                if status is OptionStatus.ACCEPTED:
+                    ms.live[option.option_id] = option.with_status(status)
+                else:
+                    ms.live.pop(option.option_id, None)
+                self._notify(record, option, status)
+        finally:
+            if span is not None:
+                trace_runtime.reset_context(previous)
         self._prune_live(record, ms)
         self.node.counters.increment("master.phase2_decided")
         if ms.migration_notify is not None:
@@ -713,6 +792,10 @@ class MasterRole:
         ms.recovery_reason = None
         ms.phase1_replies = {}
         ms.phase2_replies = {}
+        if ms.trace_span is not None:
+            ms.trace_span.finish(self.node.now, "abdicated")
+            ms.trace_span = None
+            ms.trace_ctx = None
         cstruct = ms.phase2_cstruct
         ms.phase2_cstruct = None
         ms.pending_post_grant = None

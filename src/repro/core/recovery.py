@@ -34,6 +34,7 @@ from repro.core.messages import (
 from repro.core.options import Option, OptionStatus, RecordId
 from repro.core.topology import ReplicaMap
 from repro.metrics import CounterSet
+from repro.trace import runtime as trace_runtime
 from repro.transport.base import Future, Node, Transport
 
 __all__ = ["RecoveryAgent"]
@@ -59,6 +60,8 @@ class _RecoveryState:
     #: the retry cap was hit with no verdict; a later recover() call for
     #: the same txid starts over instead of returning the dead future.
     gave_up: bool = False
+    #: open recovery-escalation span when tracing is on (else None).
+    trace_span: Optional[object] = None
 
 
 class RecoveryAgent(Node):
@@ -76,7 +79,10 @@ class RecoveryAgent(Node):
         super().__init__(transport, node_id, dc)
         self.placement = placement
         self.config = config
-        self.counters = counters if counters is not None else CounterSet()
+        self.counters = trace_runtime.scoped_counters(
+            node_id, counters if counters is not None else CounterSet()
+        )
+        self.tracer = trace_runtime.current_tracer()
         self._request_seq = itertools.count(1)
         self._by_txid: Dict[str, _RecoveryState] = {}
         self._by_request: Dict[int, _RecoveryState] = {}
@@ -109,7 +115,26 @@ class RecoveryAgent(Node):
         )
         self._by_txid[txid] = state
         self._by_request[state.request_id] = state
-        self._probe(state, hint_record)
+        if self.tracer.enabled:
+            # Parent to the transaction root when this tracer saw it (sim:
+            # shared tracer) — else start a top-level span for the trace id
+            # derived from the txid (TCP: the coordinator ran elsewhere).
+            state.trace_span = self.tracer.start_span(
+                "recovery-escalation",
+                self.node_id,
+                self.now,
+                parent=self.tracer.root_ctx(txid),
+                txid=txid,
+                record=f"{hint_record.table}/{hint_record.key}",
+                reason="dangling",
+            )
+            previous = trace_runtime.set_context(state.trace_span.ctx)
+            try:
+                self._probe(state, hint_record)
+            finally:
+                trace_runtime.reset_context(previous)
+        else:
+            self._probe(state, hint_record)
         self.counters.increment("recovery.started")
         self.set_timer(self.config.recovery_timeout_ms, self._retry, state)
         return state.future
@@ -200,32 +225,45 @@ class RecoveryAgent(Node):
         state.retry_round += 1
         if state.retry_round > self._max_retry_rounds:
             state.gave_up = True
+            if state.trace_span is not None:
+                state.trace_span.finish(self.now, "gave-up")
             self.counters.increment("recovery.gave_up")
             return
-        # Sorted: `probed` is a set of RecordIds whose iteration order is
-        # salted per interpreter (PYTHONHASHSEED), and send order decides
-        # which shared-stream jitter draw each message gets — an unsorted
-        # walk makes runs irreproducible across processes.
-        for record in sorted(state.probed, key=lambda r: (r.table, r.key)):
-            if record in state.decisions:
-                continue
-            replies = state.replies.get(record, {})
-            missing = [
-                replica
-                for replica in self.placement.replicas(record)
-                if replica not in replies
-            ]
-            if missing:
-                self.broadcast(
-                    missing,
-                    StatusRequest(
-                        txid=state.txid,
-                        record=record,
-                        request_id=state.request_id,
-                    ),
-                )
-            state.escalated.discard(record)
-            self._evaluate(state, record)
+        # Timer callbacks run with no ambient context; restore the
+        # recovery span's so re-driven probes stitch into the trace.
+        previous = (
+            trace_runtime.set_context(state.trace_span.ctx)
+            if state.trace_span is not None
+            else None
+        )
+        try:
+            # Sorted: `probed` is a set of RecordIds whose iteration order is
+            # salted per interpreter (PYTHONHASHSEED), and send order decides
+            # which shared-stream jitter draw each message gets — an unsorted
+            # walk makes runs irreproducible across processes.
+            for record in sorted(state.probed, key=lambda r: (r.table, r.key)):
+                if record in state.decisions:
+                    continue
+                replies = state.replies.get(record, {})
+                missing = [
+                    replica
+                    for replica in self.placement.replicas(record)
+                    if replica not in replies
+                ]
+                if missing:
+                    self.broadcast(
+                        missing,
+                        StatusRequest(
+                            txid=state.txid,
+                            record=record,
+                            request_id=state.request_id,
+                        ),
+                    )
+                state.escalated.discard(record)
+                self._evaluate(state, record)
+        finally:
+            if state.trace_span is not None:
+                trace_runtime.reset_context(previous)
         self.counters.increment("recovery.retries")
         self.set_timer(self.config.recovery_timeout_ms, self._retry, state)
 
@@ -249,10 +287,25 @@ class RecoveryAgent(Node):
         committed = all(
             status is OptionStatus.ACCEPTED for status in state.decisions.values()
         )
-        for record, option in state.options.items():
-            self.broadcast(
-                self.placement.replicas(record),
-                Visibility(option=option, committed=committed),
+        # The visibility fan-out belongs to the recovery span, not to
+        # whatever message handler happened to deliver the last verdict.
+        previous = (
+            trace_runtime.set_context(state.trace_span.ctx)
+            if state.trace_span is not None
+            else None
+        )
+        try:
+            for record, option in state.options.items():
+                self.broadcast(
+                    self.placement.replicas(record),
+                    Visibility(option=option, committed=committed),
+                )
+        finally:
+            if state.trace_span is not None:
+                trace_runtime.reset_context(previous)
+        if state.trace_span is not None:
+            state.trace_span.finish(
+                self.now, "committed" if committed else "aborted"
             )
         self.counters.increment(
             "recovery.committed" if committed else "recovery.aborted"

@@ -75,6 +75,11 @@ class RecordState:
         #: memoized demarcation windows keyed by everything they derive
         #: from — cleared whenever the bases reset (refresh/era close).
         self._limits_cache: Dict[tuple, "DemarcationLimits"] = {}
+        #: ``hook(reason, attribute)`` invoked at the demarcation decision
+        #: site when an escrow window rejects a delta.  Set by the storage
+        #: node only while tracing is on; ``None`` costs one attribute
+        #: check on the (already exceptional) reject path.
+        self.trace_hook = None
 
     # ------------------------------------------------------------------
     # Mode / ballot queries
@@ -216,6 +221,8 @@ class RecordState:
             if not escrow_accepts(
                 float(current), pending_deltas, delta, limits
             ):
+                if self.trace_hook is not None:
+                    self.trace_hook("demarcation-limit", attribute)
                 return OptionStatus.REJECTED
         return OptionStatus.ACCEPTED
 

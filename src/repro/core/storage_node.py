@@ -50,6 +50,7 @@ from repro.core.options import Option, OptionStatus, RecordId
 from repro.core.state import RecordState
 from repro.core.topology import ReplicaMap
 from repro.metrics import CounterSet
+from repro.trace import runtime as trace_runtime
 from repro.transport.base import Node, Transport
 from repro.storage.store import RecordStore
 from repro.storage.wal import WriteAheadLog
@@ -78,7 +79,10 @@ class MDCCStorageNode(Node):
         #: static clusters never change quorum sizes, so resolve once.
         self._static_spec = None if self._elastic else config.quorums
         self._fast_ballots = config.fast_ballots_enabled
-        self.counters = counters if counters is not None else CounterSet()
+        self.counters = trace_runtime.scoped_counters(
+            node_id, counters if counters is not None else CounterSet()
+        )
+        self.tracer = trace_runtime.current_tracer()
         self.store = RecordStore()
         self.wal = WriteAheadLog()
         self.master = MasterRole(self, config)
@@ -125,6 +129,8 @@ class MDCCStorageNode(Node):
                 spec=self.spec,
                 demarcation=self.config.demarcation_enabled,
             )
+            if self.tracer.enabled:
+                state.trace_hook = self._demarcation_hook(record)
         if self._elastic:
             # Quorum sizes feed the escrow/demarcation windows; keep the
             # cached state on the current epoch's sizes.  quorums() is
@@ -137,6 +143,27 @@ class MDCCStorageNode(Node):
     def is_master_for(self, record: RecordId) -> bool:
         return self.placement.master_node(record) == self.node_id
 
+    def _demarcation_hook(self, record: RecordId):
+        """Attribution at the §3.4.2 decision site (traced runs only):
+        an escrow window rejecting a delta becomes a zero-duration
+        ``demarcation-check`` span under whatever step evaluated it."""
+
+        def hook(reason: str, attribute: str) -> None:
+            ctx = trace_runtime.current_context()
+            if ctx is None:
+                return  # context-less evaluation (e.g. untraced timer work)
+            span = self.tracer.start_span(
+                "demarcation-check",
+                self.node_id,
+                self.now,
+                parent=ctx,
+                record=f"{record.table}/{record.key}",
+                attribute=attribute,
+            )
+            span.finish(self.now, reason)
+
+        return hook
+
     # ------------------------------------------------------------------
     # Fast path
     # ------------------------------------------------------------------
@@ -145,6 +172,18 @@ class MDCCStorageNode(Node):
             # Proposed under an old configuration: accepting it would cast
             # a vote that could complete a quorum of the wrong size.  The
             # coordinator's learn timeout re-drives under the new epoch.
+            if self.tracer.enabled:
+                ctx = trace_runtime.current_context()
+                if ctx is not None:
+                    span = self.tracer.start_span(
+                        "fast-accept",
+                        self.node_id,
+                        self.now,
+                        parent=ctx,
+                        txid=message.option.txid,
+                        epoch=message.epoch,
+                    )
+                    span.finish(self.now, "stale-epoch")
             return
         option = message.option
         state = self.record_state(option.record)
@@ -155,6 +194,9 @@ class MDCCStorageNode(Node):
                 self.placement.master_node(option.record),
                 ProposeClassic(option=option, reply_to=message.reply_to),
             )
+            return
+        if self.tracer.enabled:
+            self._traced_fast_accept(message, state)
             return
         decided = state.accept_fast(option)
         self._option_log[option.option_id] = decided
@@ -178,6 +220,56 @@ class MDCCStorageNode(Node):
                 master_hint=self.placement.master_node(option.record),
                 epoch=self._epoch(),
             ),
+        )
+
+    def _traced_fast_accept(self, message: ProposeFast, state: RecordState) -> None:
+        """The Phase2bFast body with a ``fast-accept`` span around it.
+
+        Kept separate so the untraced handler stays the PR-5-optimized
+        straight line; the decide runs inside the span's context so a
+        demarcation rejection stitches underneath it.
+        """
+        option = message.option
+        span = self.tracer.start_span(
+            "fast-accept",
+            self.node_id,
+            self.now,
+            parent=trace_runtime.current_context(),
+            txid=option.txid,
+            record=f"{option.record.table}/{option.record.key}",
+            ballot=repr(state.effective_ballot()),
+            epoch=message.epoch,
+        )
+        previous = trace_runtime.set_context(span.ctx)
+        try:
+            decided = state.accept_fast(option)
+            self._option_log[option.option_id] = decided
+            self.wal.append(
+                "option-learned",
+                option_id=decided.option_id,
+                txid=decided.txid,
+                status=decided.status.value,
+                writeset=[r._str for r in decided.writeset],
+            )
+            self.counters.increment("acceptor.fast_proposals")
+            self.send(
+                message.reply_to,
+                FastReply(
+                    option_id=decided.option_id,
+                    txid=decided.txid,
+                    record=decided.record,
+                    status=decided.status,
+                    committed_version=state.version,
+                    is_fast_era=True,
+                    master_hint=self.placement.master_node(option.record),
+                    epoch=self._epoch(),
+                ),
+            )
+        finally:
+            trace_runtime.reset_context(previous)
+        span.finish(
+            self.now,
+            "accepted" if decided.status is OptionStatus.ACCEPTED else "rejected",
         )
 
     # ------------------------------------------------------------------

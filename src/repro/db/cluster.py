@@ -31,6 +31,7 @@ from repro.metrics import CounterSet
 from repro.sim.core import Simulator
 from repro.sim.network import EC2_REGIONS, LatencyModel, Network
 from repro.sim.rng import RngRegistry
+from repro.trace.runtime import instrument_sim_transport
 from repro.transport.base import Transport
 from repro.transport.simnet import SimTransport
 from repro.storage.schema import TableSchema
@@ -317,6 +318,9 @@ def build_cluster(
     )
     network = Network(sim, latency_model=latency, rng_registry=rng)
     transport = SimTransport(sim, network)
+    # No-op unless a tracer is ambient (repro.trace.runtime.install);
+    # untraced runs keep the unwrapped network hot path.
+    instrument_sim_transport(transport)
     membership = None
     if elastic:
         from repro.reconfig.directory import MembershipDirectory

@@ -84,17 +84,45 @@ class LatencyRecorder:
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._values: List[float] = []
-        self._timestamps: List[float] = []
+        self._timestamps: List[Optional[float]] = []
         self._sorted_cache: Optional[List[float]] = None
 
     def add(self, value: float, timestamp: Optional[float] = None) -> None:
+        """Record one sample; ``timestamp`` stays ``None`` when omitted.
+
+        A sample taken at simulated time zero is a real data point, so
+        "no timestamp" must not collapse onto ``t=0.0`` — time-series
+        consumers (:attr:`timestamped`) skip untimed samples instead.
+        """
         self._values.append(float(value))
-        self._timestamps.append(float(timestamp) if timestamp is not None else 0.0)
+        self._timestamps.append(None if timestamp is None else float(timestamp))
         self._sorted_cache = None
 
-    def extend(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.add(value)
+    def extend(
+        self,
+        values: Iterable[float],
+        timestamps: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Bulk-record samples, optionally with matching timestamps.
+
+        Without ``timestamps`` every sample is untimed (it contributes to
+        percentiles but not to :attr:`timestamped`).  With ``timestamps``
+        the two iterables are paired positionally and must have the same
+        length.
+        """
+        if timestamps is None:
+            for value in values:
+                self.add(value)
+            return
+        values = list(values)
+        timestamps = list(timestamps)
+        if len(values) != len(timestamps):
+            raise ValueError(
+                f"extend() got {len(values)} values but "
+                f"{len(timestamps)} timestamps"
+            )
+        for value, timestamp in zip(values, timestamps):
+            self.add(value, timestamp)
 
     def __len__(self) -> int:
         return len(self._values)
@@ -105,8 +133,16 @@ class LatencyRecorder:
 
     @property
     def timestamped(self) -> List[Tuple[float, float]]:
-        """(timestamp, value) pairs in insertion order."""
-        return list(zip(self._timestamps, self._values))
+        """(timestamp, value) pairs in insertion order.
+
+        Samples recorded without a timestamp are skipped — they have no
+        place on a time axis; genuine ``t=0.0`` samples are kept.
+        """
+        return [
+            (timestamp, value)
+            for timestamp, value in zip(self._timestamps, self._values)
+            if timestamp is not None
+        ]
 
     def _sorted(self) -> List[float]:
         if self._sorted_cache is None:

@@ -16,11 +16,12 @@ Public surface:
   injection.
 * :class:`repro.sim.network.LatencyModel` — the five-DC RTT matrix.
 * :class:`repro.sim.node.Node` — base class for protocol actors.
-* :class:`repro.sim.monitor.LatencyRecorder` — percentile/CDF collection.
+* :class:`repro.metrics.LatencyRecorder` — percentile/CDF collection
+  (re-exported here; ``repro.sim.monitor`` is deprecated).
 """
 
+from repro.metrics import Counter, CounterSet, LatencyRecorder, TimeSeries
 from repro.sim.core import Event, Future, SimulationError, Simulator, all_of, any_of
-from repro.sim.monitor import Counter, CounterSet, LatencyRecorder, TimeSeries
 from repro.sim.network import (
     DEFAULT_RTT_MATRIX,
     EC2_REGIONS,

@@ -1,12 +1,21 @@
-"""Backward-compatible re-export of :mod:`repro.metrics`.
+"""Deprecated re-export of :mod:`repro.metrics`.
 
 The measurement instruments started life inside the simulation package,
 but they are pure data structures that protocol roles use identically
 over every transport backend — so they now live in the neutral
-:mod:`repro.metrics`.  Importing them from here keeps working.
+:mod:`repro.metrics`.  Importing them from here still works but warns;
+this shim will be removed in a future revision.
 """
 
-from repro.metrics import (
+import warnings
+
+warnings.warn(
+    "repro.sim.monitor is deprecated; import from repro.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.metrics import (  # noqa: E402
     BoxplotStats,
     Counter,
     CounterSet,

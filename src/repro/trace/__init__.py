@@ -1,0 +1,36 @@
+"""Deterministic distributed tracing for the MDCC reproduction.
+
+Public surface:
+
+* :class:`~repro.trace.tracer.Tracer` / :class:`~repro.trace.tracer.Span`
+  — the seeded, wall-clock-free span model;
+* :mod:`~repro.trace.runtime` — ambient installation and per-transport
+  context propagation;
+* :class:`~repro.trace.registry.MetricsRegistry` — per-node counters and
+  latency recorders;
+* :mod:`~repro.trace.explain` — the canonical JSON artifact and the
+  ``repro trace --explain`` causal-timeline view.
+"""
+
+from repro.trace.explain import (
+    TRACE_SCHEMA,
+    build_artifact,
+    render_artifact_json,
+    render_explain,
+)
+from repro.trace.registry import MetricsRegistry, ScopedCounters
+from repro.trace.tracer import NOOP, NoopTracer, Span, Tracer, derive_trace_id
+
+__all__ = [
+    "MetricsRegistry",
+    "NOOP",
+    "NoopTracer",
+    "ScopedCounters",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "build_artifact",
+    "derive_trace_id",
+    "render_artifact_json",
+    "render_explain",
+]

@@ -1,0 +1,128 @@
+"""Trace artifact rendering and the `--explain` causal-timeline view.
+
+The artifact is the canonical byte form the CI trace-smoke job compares:
+sorted keys, two-space indent, trailing newline, every value derived
+from simulated time or seeded ids — two runs at the same seed must
+produce identical bytes regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.registry import MetricsRegistry
+from repro.trace.tracer import Span, Tracer
+
+__all__ = ["build_artifact", "render_artifact_json", "render_explain"]
+
+TRACE_SCHEMA = "trace/v1"
+
+
+def build_artifact(
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    result: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The JSON-ready trace payload for one traced run."""
+    spans = sorted(
+        (span.as_dict() for span in tracer.spans),
+        key=lambda s: (s["trace_id"], s["start_ms"], s["span_id"]),
+    )
+    orphans = tracer.orphan_spans()
+    traces = tracer.traces()
+    artifact: Dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "seed": tracer.seed,
+        "spans": spans,
+        "summary": {
+            "orphan_spans": len(orphans),
+            "spans": len(spans),
+            "traces": len(traces),
+        },
+        "node_metrics": registry.as_dict() if registry is not None else {},
+    }
+    if result is not None:
+        artifact["result"] = result
+    return artifact
+
+
+def render_artifact_json(artifact: Dict[str, object]) -> str:
+    """Canonical bytes: sorted keys, two-space indent, trailing newline."""
+    return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+
+
+def _span_line(span: Dict[str, object], t0: float, depth: int) -> List[str]:
+    start = float(span["start_ms"])
+    end = span["end_ms"]
+    duration = "" if end is None else f" ({float(end) - start:.3f} ms)"
+    outcome = span["outcome"] if span["outcome"] is not None else "unfinished"
+    attrs = span["attrs"]
+    attr_text = "".join(
+        f" {key}={attrs[key]}" for key in sorted(attrs)
+    )
+    indent = "  " * depth
+    lines = [
+        f"{indent}+{start - t0:10.3f} ms  {span['kind']} @ {span['node']}"
+        f" [{outcome}]{duration}{attr_text}"
+    ]
+    for event in span["events"]:
+        detail = "".join(
+            f" {key}={value}"
+            for key, value in event.items()
+            if key not in ("t_ms", "name")
+        )
+        lines.append(
+            f"{indent}  !{float(event['t_ms']) - t0:9.3f} ms  {event['name']}{detail}"
+        )
+    return lines
+
+
+def render_explain(tracer: Tracer, txid: str) -> str:
+    """The causal timeline of one transaction, as an indented tree.
+
+    Spans are printed depth-first under their parents; a span whose
+    parent is missing (an orphan) is flagged explicitly so a broken
+    stitch is visible rather than silently re-rooted.
+    """
+    trace_id = tracer.trace_id_for(txid)
+    spans = [span.as_dict() for span in tracer.traces().get(trace_id, [])]
+    if not spans:
+        known = sorted(
+            {span.txid for span in tracer.spans if span.txid is not None}
+        )
+        preview = ", ".join(known[:10]) or "(none)"
+        return (
+            f"no trace recorded for txid {txid!r} "
+            f"(trace id {trace_id}); known txids include: {preview}"
+        )
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[Optional[str], List[Dict[str, object]]] = {}
+    for span in spans:
+        parent = span["parent_id"]
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan: surfaced below, printed at the root
+            span = dict(span, _orphan=True)
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s["start_ms"], s["span_id"]))
+    t0 = min(float(span["start_ms"]) for span in spans)
+    lines = [f"trace {trace_id}  txid={txid}  spans={len(spans)}"]
+
+    def walk(span: Dict[str, object], depth: int) -> None:
+        rendered = _span_line(span, t0, depth)
+        if span.get("_orphan"):
+            rendered[0] += "  [ORPHAN: parent missing]"
+        lines.extend(rendered)
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 1)
+    return "\n".join(lines) + "\n"
+
+
+def spans_for_txid(tracer: Tracer, txid: str) -> List[Span]:
+    """All spans of ``txid``'s trace, in creation order."""
+    trace_id = tracer.trace_id_for(txid)
+    return tracer.traces().get(trace_id, [])

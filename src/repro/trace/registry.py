@@ -1,0 +1,95 @@
+"""Per-node metrics: a registry of counters and latency recorders.
+
+The cluster has always aggregated protocol counters into one shared
+:class:`~repro.metrics.CounterSet`.  When tracing is on, roles wrap that
+shared set in a :class:`ScopedCounters` so every increment lands twice:
+once in the global set (``cluster.counters`` semantics unchanged — every
+existing consumer sees identical totals) and once in this registry under
+the incrementing node's id.  The registry merges deterministically into
+the trace artifact: nodes sorted by id, counters sorted by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.metrics import CounterSet, LatencyRecorder
+
+__all__ = ["MetricsRegistry", "ScopedCounters"]
+
+
+class MetricsRegistry:
+    """Counters and latency recorders keyed by node id."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, CounterSet] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+
+    def counters_for(self, node_id: str) -> CounterSet:
+        counters = self._counters.get(node_id)
+        if counters is None:
+            counters = self._counters[node_id] = CounterSet()
+        return counters
+
+    def latency_for(self, node_id: str) -> LatencyRecorder:
+        recorder = self._latencies.get(node_id)
+        if recorder is None:
+            recorder = self._latencies[node_id] = LatencyRecorder(node_id)
+        return recorder
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic JSON view: everything sorted, floats rounded."""
+        counters = {
+            node_id: self._counters[node_id].as_dict()
+            for node_id in sorted(self._counters)
+            if self._counters[node_id].as_dict()
+        }
+        latencies = {}
+        for node_id in sorted(self._latencies):
+            recorder = self._latencies[node_id]
+            if not len(recorder):
+                continue
+            latencies[node_id] = {
+                key: round(value, 3) for key, value in recorder.summary().items()
+            }
+        return {"counters": counters, "latencies": latencies}
+
+
+class ScopedCounters:
+    """A :class:`CounterSet` facade that also attributes to one node.
+
+    Increments fan out to the shared cluster-wide set *and* the node's
+    slice in the registry; every read delegates to the shared set, so
+    code holding a scoped handle observes exactly the global totals it
+    always did.
+    """
+
+    __slots__ = ("_base", "_local")
+
+    def __init__(
+        self, node_id: str, base: CounterSet, registry: MetricsRegistry
+    ) -> None:
+        self._base = base
+        self._local = registry.counters_for(node_id)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._base.increment(name, amount)
+        self._local.increment(name, amount)
+
+    def get(self, name: str) -> int:
+        return self._base.get(name)
+
+    def as_dict(self) -> Dict[str, int]:
+        return self._base.as_dict()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._base
+
+
+def scoped(
+    node_id: str, counters: CounterSet, registry: Optional[MetricsRegistry]
+) -> CounterSet:
+    """Wrap ``counters`` for ``node_id`` when a registry is active."""
+    if registry is None or isinstance(counters, ScopedCounters):
+        return counters
+    return ScopedCounters(node_id, counters, registry)

@@ -36,6 +36,7 @@ from typing import Any, Callable, Deque, Dict, Iterable, Optional, Tuple
 
 from collections import deque
 
+from repro.trace import runtime as trace_runtime
 from repro.transport import codec as wire
 from repro.transport.base import Node, Transport, TransportError
 from repro.transport.topology import Topology
@@ -143,9 +144,17 @@ class AsyncioTcpTransport(Transport):
     def send(self, src_id: str, dst_id: str, message: object) -> None:
         if self._closed:
             return
+        ctx = trace_runtime.current_context()
         if dst_id in self._nodes:
             # Same process: skip framing and nemesis (intra-DC loopback).
-            self._loop.call_soon(self._dispatch, dst_id, message, src_id)
+            # The ambient trace context is gone by the time call_soon runs
+            # the handler, so carry it explicitly.
+            if ctx is not None:
+                self._loop.call_soon(
+                    self._dispatch_traced, dst_id, message, src_id, ctx
+                )
+            else:
+                self._loop.call_soon(self._dispatch, dst_id, message, src_id)
             return
         dst_dc = self.topology.dc_of(dst_id)
         if dst_dc is None and dst_id in self._learned:
@@ -157,6 +166,8 @@ class AsyncioTcpTransport(Transport):
             "dst": dst_id,
             "msg": wire.encode(message),
         }
+        if ctx is not None:
+            envelope["trace"] = [ctx[0], ctx[1]]
         frame = self._frame(envelope)
         fault = self._faults.get((src_dc, dst_dc)) if dst_dc else None
         if fault is not None:
@@ -410,7 +421,22 @@ class AsyncioTcpTransport(Transport):
         except wire.CodecError as exc:
             print(f"[transport] undecodable message for {dst}: {exc}", file=sys.stderr)
             return
-        self._dispatch(dst, message, src)
+        trace = envelope.get("trace")
+        if trace is not None:
+            self._dispatch_traced(dst, message, src, (trace[0], trace[1]))
+        else:
+            self._dispatch(dst, message, src)
+
+    def _dispatch_traced(
+        self, dst_id: str, message: object, src_id: str, ctx: tuple
+    ) -> None:
+        """Deliver with the sender's trace context as the ambient context,
+        so spans opened by the handler stitch across the wire."""
+        previous = trace_runtime.set_context(ctx)
+        try:
+            self._dispatch(dst_id, message, src_id)
+        finally:
+            trace_runtime.reset_context(previous)
 
     def _dispatch(self, dst_id: str, message: object, src_id: str) -> None:
         node = self._nodes.get(dst_id)

@@ -1,0 +1,127 @@
+"""Edge-case tests for :mod:`repro.metrics` (ISSUE 8 satellites).
+
+Covers the corners the main suite skips: percentile at the fraction
+boundaries and two-element interpolation, bucket end-boundary exclusion,
+``fraction_below`` with duplicate samples, ``CounterSet.as_dict``
+ordering, the timestamp contract of ``add``/``extend`` (``None`` must
+not collapse onto ``t=0.0``), and the ``repro.sim.monitor``
+deprecation shim.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+from repro.metrics import CounterSet, LatencyRecorder, TimeSeries, percentile
+
+
+class TestPercentileEdges:
+    def test_fraction_zero_is_minimum(self):
+        assert percentile([1.0, 5.0, 9.0], 0.0) == 1.0
+
+    def test_fraction_one_is_maximum(self):
+        assert percentile([1.0, 5.0, 9.0], 1.0) == 9.0
+
+    def test_two_elements_interpolate_linearly(self):
+        # rank = fraction * (n - 1): with n=2 the rank is the fraction
+        # itself, so every interior fraction interpolates the pair.
+        assert percentile([10.0, 20.0], 0.5) == pytest.approx(15.0)
+        assert percentile([10.0, 20.0], 0.25) == pytest.approx(12.5)
+        assert percentile([10.0, 20.0], 0.9) == pytest.approx(19.0)
+
+    def test_two_elements_boundaries_exact(self):
+        assert percentile([10.0, 20.0], 0.0) == 10.0
+        assert percentile([10.0, 20.0], 1.0) == 20.0
+
+
+class TestBucketCountsBoundaries:
+    def test_end_boundary_is_excluded(self):
+        series = TimeSeries()
+        series.add(999.999, 1.0)   # last instant inside the window
+        series.add(1_000.0, 1.0)   # exactly `end`: outside
+        counts = series.bucket_counts(500.0, 0.0, 1_000.0)
+        assert counts == [(0.0, 0), (500.0, 1)]
+
+    def test_point_on_interior_bucket_edge_goes_right(self):
+        series = TimeSeries()
+        series.add(500.0, 1.0)
+        counts = series.bucket_counts(500.0, 0.0, 1_000.0)
+        assert counts == [(0.0, 0), (500.0, 1)]
+
+
+class TestFractionBelowDuplicates:
+    def test_duplicates_count_strictly_below(self):
+        rec = LatencyRecorder()
+        rec.extend([100.0, 100.0, 100.0, 200.0])
+        # bisect_left: samples equal to the threshold are NOT below it.
+        assert rec.fraction_below(100.0) == 0.0
+        assert rec.fraction_below(200.0) == 0.75
+        assert rec.fraction_below(100.5) == 0.75
+
+    def test_all_duplicates(self):
+        rec = LatencyRecorder()
+        rec.extend([42.0] * 5)
+        assert rec.fraction_below(42.0) == 0.0
+        assert rec.fraction_below(42.1) == 1.0
+
+
+class TestCounterSetOrdering:
+    def test_as_dict_is_name_sorted_not_insertion_ordered(self):
+        counters = CounterSet()
+        for name in ("zeta", "alpha", "mid", "beta"):
+            counters.increment(name)
+        assert list(counters.as_dict()) == ["alpha", "beta", "mid", "zeta"]
+
+    def test_as_dict_values_survive_sorting(self):
+        counters = CounterSet()
+        counters.increment("b", 2)
+        counters.increment("a", 7)
+        assert counters.as_dict() == {"a": 7, "b": 2}
+
+
+class TestTimestampContract:
+    def test_add_without_timestamp_is_untimed_not_t0(self):
+        rec = LatencyRecorder()
+        rec.add(50.0)                  # untimed
+        rec.add(60.0, timestamp=0.0)   # a REAL sample at t=0
+        # Percentile consumers see both; the time axis only the timed one.
+        assert len(rec) == 2
+        assert rec.timestamped == [(0.0, 60.0)]
+
+    def test_extend_value_only_contract(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 2.0, 3.0])
+        assert rec.values == [1.0, 2.0, 3.0]
+        assert rec.timestamped == []
+
+    def test_extend_with_timestamps_pairs_positionally(self):
+        rec = LatencyRecorder()
+        rec.extend([10.0, 20.0], timestamps=[100.0, 200.0])
+        assert rec.timestamped == [(100.0, 10.0), (200.0, 20.0)]
+
+    def test_extend_length_mismatch_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError, match="2 values but 3 timestamps"):
+            rec.extend([1.0, 2.0], timestamps=[1.0, 2.0, 3.0])
+        # A failed extend must not have half-applied.
+        assert len(rec) == 0
+
+    def test_extend_accepts_generators_with_timestamps(self):
+        rec = LatencyRecorder()
+        rec.extend((float(v) for v in (1, 2)), timestamps=iter([5.0, 6.0]))
+        assert rec.timestamped == [(5.0, 1.0), (6.0, 2.0)]
+
+
+class TestMonitorShimDeprecation:
+    def test_import_warns(self):
+        sys.modules.pop("repro.sim.monitor", None)
+        with pytest.warns(DeprecationWarning, match="repro.sim.monitor is deprecated"):
+            importlib.import_module("repro.sim.monitor")
+
+    def test_shim_still_reexports(self):
+        with pytest.warns(DeprecationWarning):
+            sys.modules.pop("repro.sim.monitor", None)
+            monitor = importlib.import_module("repro.sim.monitor")
+        assert monitor.LatencyRecorder is LatencyRecorder
+        assert monitor.CounterSet is CounterSet
