@@ -17,19 +17,23 @@ so an experiment is a reviewable artifact: commit the JSON, re-run it
 byte-identically with ``repro run --spec scenario.json``, and find the
 same block under ``"spec"`` in every JSON result envelope.
 
-The old keyword surfaces still work: calling :func:`run_scenario` with
-a :class:`~repro.faults.schedule.FaultSchedule` first argument or
-:func:`build_cluster` with a protocol string forwards to the legacy
-implementations unchanged (same results, byte for byte) after emitting
-a :class:`DeprecationWarning`.  Knobs with no CLI syntax
-(``table_master_dc``, ``migration_policy``, ``rtt_matrix``, ...)
-remain available through those legacy keywords only.
+These are the *only* programmatic entry points: the keyword shims that
+once accepted a protocol string or a bare
+:class:`~repro.faults.schedule.FaultSchedule` are gone.  Knobs with no
+spec field (``table_master_dc``, ``migration_policy``, ``rtt_matrix``,
+``jitter_sigma``, placement-manager cadences) live on
+:func:`repro.db.cluster.build_cluster` directly.
+
+What a protocol can run — adaptive placement, elastic membership, the
+single-entity-group partition collapse, whether the γ/batching tunables
+configure anything — comes from its
+:class:`~repro.protocols.base.Protocol` descriptor; validation here
+asks capability flags, never protocol names.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple, Union
 
@@ -38,16 +42,16 @@ from repro.bench.harness import (
     ScenarioResult,
     run_geoshift,
     run_micro,
-    run_scenario as _legacy_run_scenario,
+    run_scenario as _harness_run_scenario,
     run_tpcw,
 )
-from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.core.config import MDCCConfig
 from repro.db.cluster import (
-    PROTOCOLS,
     Cluster,
-    build_cluster as _legacy_build_cluster,
+    build_cluster as _build_cluster,
 )
-from repro.faults.schedule import NAMED_SCHEDULES, FaultSchedule, named_schedule
+from repro.faults.schedule import NAMED_SCHEDULES, named_schedule
+from repro.protocols.base import get_protocol, protocols_supporting
 from repro.sim.network import EC2_REGIONS
 
 __all__ = [
@@ -56,12 +60,6 @@ __all__ = [
     "build_cluster",
     "run_scenario",
 ]
-
-_VARIANTS = {
-    "mdcc": ProtocolVariant.MDCC,
-    "fast": ProtocolVariant.FAST,
-    "multi": ProtocolVariant.MULTI,
-}
 
 WORKLOADS = ("micro", "tpcw", "geoshift")
 
@@ -98,10 +96,7 @@ class ClusterSpec:
     elastic: bool = False
 
     def __post_init__(self) -> None:
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(
-                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
-            )
+        descriptor = get_protocol(self.protocol)  # raises on unknown names
         if self.datacenters is not None:
             object.__setattr__(self, "datacenters", tuple(self.datacenters))
             if len(self.datacenters) < 2:
@@ -110,15 +105,17 @@ class ClusterSpec:
                 raise ValueError("duplicate data center")
         if self.partitions_per_table < 1:
             raise ValueError("partitions_per_table must be positive")
-        if self.master_policy == "adaptive" and self.protocol not in _VARIANTS:
+        if self.master_policy == "adaptive" and not descriptor.supports_placement:
+            supported = ", ".join(protocols_supporting("supports_placement"))
             raise ValueError(
                 "adaptive master placement requires an MDCC variant "
-                f"({', '.join(_VARIANTS)}); got {self.protocol!r}"
+                f"({supported}); got {self.protocol!r}"
             )
-        if self.elastic and self.protocol not in _VARIANTS:
+        if self.elastic and not descriptor.supports_elastic:
+            supported = ", ".join(protocols_supporting("supports_elastic"))
             raise ValueError(
                 "elastic membership requires an MDCC variant "
-                f"({', '.join(_VARIANTS)}); got {self.protocol!r}"
+                f"({supported}); got {self.protocol!r}"
             )
         if self.gamma_policy not in ("static", "adaptive"):
             raise ValueError(
@@ -135,15 +132,15 @@ class ClusterSpec:
     @property
     def effective_partitions(self) -> int:
         # The paper's Megastore* places all data in a single entity group.
-        return 1 if self.protocol == "megastore" else self.partitions_per_table
+        if get_protocol(self.protocol).single_entity_group:
+            return 1
+        return self.partitions_per_table
 
     def config(self) -> Optional[MDCCConfig]:
-        """The :class:`MDCCConfig` this spec describes (None for baselines)."""
-        if self.protocol not in _VARIANTS:
-            return None
-        return MDCCConfig(
-            replication=len(self.effective_datacenters),
-            variant=_VARIANTS[self.protocol],
+        """The :class:`MDCCConfig` this spec describes (``None`` for
+        protocols the γ/batching/demarcation tunables do not configure)."""
+        return get_protocol(self.protocol).make_config(
+            len(self.effective_datacenters),
             gamma_policy=self.gamma_policy,
             visibility_batch_ms=self.batch_ms,
             demarcation_enabled=self.demarcation,
@@ -314,71 +311,60 @@ def _checked_fields(cls, data: Dict[str, object]) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
-# Canonical entry points (+ legacy keyword shims)
+# Canonical entry points
 # ----------------------------------------------------------------------
-def build_cluster(spec: Union[ClusterSpec, str] = "mdcc", **legacy) -> Cluster:
+def build_cluster(spec: ClusterSpec = ClusterSpec(), **unexpected) -> Cluster:
     """Build the deployment a :class:`ClusterSpec` describes.
 
-    A protocol string first argument is the legacy surface and forwards
-    to :func:`repro.db.cluster.build_cluster` unchanged (after a
-    :class:`DeprecationWarning`); it remains the only route to knobs
-    without spec fields (``table_master_dc``, ``migration_policy``,
-    ``rtt_matrix``, ``jitter_sigma``, placement-manager cadences).
+    Knobs without spec fields (``table_master_dc``, ``migration_policy``,
+    ``rtt_matrix``, ``jitter_sigma``, placement-manager cadences) live on
+    :func:`repro.db.cluster.build_cluster` directly.
     """
-    if isinstance(spec, ClusterSpec):
-        if legacy:
-            raise TypeError(
-                "a ClusterSpec is self-contained; unexpected keyword(s): "
-                + ", ".join(sorted(legacy))
-            )
-        kwargs = dict(
-            partitions_per_table=spec.effective_partitions,
-            master_policy=spec.master_policy or "hash",
-            seed=spec.seed,
-            config=spec.config(),
-            elastic=spec.elastic,
+    if not isinstance(spec, ClusterSpec):
+        raise TypeError(
+            "build_cluster takes a repro.api.ClusterSpec; the legacy "
+            "protocol-string surface was removed "
+            "(use repro.db.cluster.build_cluster for raw keywords)"
         )
-        if spec.datacenters is not None:
-            kwargs["datacenters"] = spec.datacenters
-        return _legacy_build_cluster(spec.protocol, **kwargs)
-    warnings.warn(
-        "build_cluster(protocol, **kwargs) is deprecated; pass a "
-        "repro.api.ClusterSpec",
-        DeprecationWarning,
-        stacklevel=2,
+    if unexpected:
+        raise TypeError(
+            "a ClusterSpec is self-contained; unexpected keyword(s): "
+            + ", ".join(sorted(unexpected))
+        )
+    kwargs = dict(
+        partitions_per_table=spec.effective_partitions,
+        master_policy=spec.master_policy or "hash",
+        seed=spec.seed,
+        config=spec.config(),
+        elastic=spec.elastic,
     )
-    return _legacy_build_cluster(spec, **legacy)
+    if spec.datacenters is not None:
+        kwargs["datacenters"] = spec.datacenters
+    return _build_cluster(spec.protocol, **kwargs)
 
 
 def run_scenario(
-    spec: Union[ScenarioSpec, FaultSchedule], **legacy
+    spec: ScenarioSpec, **unexpected
 ) -> Union[ExperimentResult, ScenarioResult]:
     """Run the experiment a :class:`ScenarioSpec` describes.
 
     Returns an :class:`ExperimentResult` (no ``schedule``) or a
-    :class:`ScenarioResult` (named fault schedule).  A
-    :class:`~repro.faults.schedule.FaultSchedule` first argument is the
-    legacy keyword surface and forwards to
-    :func:`repro.bench.harness.run_scenario` unchanged, after a
-    :class:`DeprecationWarning` — same simulated trajectory, byte for
-    byte.
+    :class:`ScenarioResult` (named fault schedule).
     """
-    if isinstance(spec, ScenarioSpec):
-        if legacy:
-            raise TypeError(
-                "a ScenarioSpec is self-contained; unexpected keyword(s): "
-                + ", ".join(sorted(legacy))
-            )
-        if spec.schedule is not None:
-            return _run_scheduled(spec)
-        return _run_experiment(spec)
-    warnings.warn(
-        "run_scenario(schedule, **kwargs) is deprecated; pass a "
-        "repro.api.ScenarioSpec with schedule=<name>",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _legacy_run_scenario(spec, **legacy)
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            "run_scenario takes a repro.api.ScenarioSpec; the legacy "
+            "FaultSchedule surface was removed "
+            "(use repro.bench.harness.run_scenario for raw keywords)"
+        )
+    if unexpected:
+        raise TypeError(
+            "a ScenarioSpec is self-contained; unexpected keyword(s): "
+            + ", ".join(sorted(unexpected))
+        )
+    if spec.schedule is not None:
+        return _run_scheduled(spec)
+    return _run_experiment(spec)
 
 
 def _run_experiment(spec: ScenarioSpec) -> ExperimentResult:
@@ -448,4 +434,4 @@ def _run_scheduled(spec: ScenarioSpec) -> ScenarioResult:
     )
     if cluster.datacenters is not None:
         run_kwargs["datacenters"] = cluster.datacenters
-    return _legacy_run_scenario(schedule, **run_kwargs)
+    return _harness_run_scenario(schedule, **run_kwargs)

@@ -23,6 +23,7 @@ from repro.db.checkers import check_constraints, check_replica_convergence
 from repro.db.cluster import build_cluster
 from repro.faults.controller import CHAOS_TABLE, ChaosController
 from repro.faults.schedule import FaultSchedule
+from repro.protocols.base import get_protocol
 from repro.metrics import LatencyRecorder
 from repro.workloads.generator import WorkloadStats
 from repro.workloads.geoshift import GeoShiftBenchmark
@@ -116,6 +117,22 @@ def _collect(protocol, cluster, stats, workload, audit_table, audit_keys) -> Exp
     return result
 
 
+def _effective_partitions(protocol: str, partitions_per_table: int) -> int:
+    """Single-entity-group protocols (Megastore*) collapse to one log."""
+    if get_protocol(protocol).single_entity_group:
+        return 1
+    return partitions_per_table
+
+
+def _preferred_client_dcs(protocol: str, client_dcs):
+    """The paper places Megastore* clients with its master in US-West
+    ("we play in favor of Megastore*"); the descriptor names that DC."""
+    preferred = get_protocol(protocol).preferred_client_dc
+    if client_dcs is None and preferred is not None:
+        return [preferred]
+    return client_dcs
+
+
 def run_tpcw(
     protocol: str,
     num_clients: int = 50,
@@ -138,7 +155,7 @@ def run_tpcw(
     master ("we play in favor of Megastore*"); we reproduce that placement
     automatically for the megastore protocol.
     """
-    parts = 1 if protocol == "megastore" else partitions_per_table
+    parts = _effective_partitions(protocol, partitions_per_table)
     cluster = build_cluster(
         protocol,
         seed=seed,
@@ -147,8 +164,7 @@ def run_tpcw(
         master_policy=master_policy,
         migration_policy=migration_policy,
     )
-    if protocol == "megastore" and client_dcs is None:
-        client_dcs = ["us-west"]
+    client_dcs = _preferred_client_dcs(protocol, client_dcs)
     bench = TPCWBenchmark(
         num_items=num_items, min_stock=min_stock, max_stock=max_stock
     )
@@ -188,7 +204,7 @@ def run_micro(
     ``fail_dc_at=(dc, at_ms)`` schedules a full data-center outage at the
     given simulated offset (Figure 8's scenario).
     """
-    parts = 1 if protocol == "megastore" else partitions_per_table
+    parts = _effective_partitions(protocol, partitions_per_table)
     cluster = build_cluster(
         protocol,
         seed=seed,
@@ -252,7 +268,7 @@ def run_geoshift(
     hotspot.  The tracker half-life defaults shorter than the phase so
     the write-origin signal turns over well before the sun does.
     """
-    parts = 1 if protocol == "megastore" else partitions_per_table
+    parts = _effective_partitions(protocol, partitions_per_table)
     cluster = build_cluster(
         protocol,
         seed=seed,
@@ -420,7 +436,7 @@ def run_scenario(
             f"choose from {', '.join(sorted(_SCENARIO_TABLES))}"
         )
     master_policy = master_policy or schedule.master_policy or "hash"
-    parts = 1 if variant == "megastore" else partitions_per_table
+    parts = _effective_partitions(variant, partitions_per_table)
     elastic = elastic or schedule.needs_reconfig
     build_kwargs = dict(
         seed=seed,
@@ -538,7 +554,7 @@ def _run_antientropy(cluster, table: str, keys, controller: ChaosController) -> 
     so a later round is needed to observe the effects of the repairs the
     previous round kicked off."""
     agent = cluster.add_anti_entropy_agent(cluster.placement.datacenters[0])
-    if cluster.protocol in ("mdcc", "fast", "multi"):
+    if cluster.descriptor.supports_recovery:
         agent.attach_recovery(
             cluster.add_recovery_agent(cluster.placement.datacenters[0])
         )

@@ -1,7 +1,8 @@
 """`repro bench`: the deterministic simulator-core performance baseline.
 
 Runs a fixed micro workload (fixed seed, fixed client/item counts) on
-each MDCC variant and emits ``BENCH_sim_core.json`` — the committed
+each first-class variant (the MDCC variants plus Replicated Commit)
+and emits ``BENCH_sim_core.json`` — the committed
 perf baseline CI gates against on every PR so the perf trajectory of
 the simulator core is visible (and enforced) over time.
 
@@ -38,7 +39,7 @@ __all__ = [
     "strip_wallclock",
 ]
 
-BENCH_SCHEMA = "bench_sim_core/v2"
+BENCH_SCHEMA = "bench_sim_core/v3"
 
 #: the fixed workload; changing any of these is a schema bump.
 _DEFAULTS = dict(
@@ -51,7 +52,7 @@ _DEFAULTS = dict(
     max_stock=1_000,
 )
 
-_VARIANTS = ("mdcc", "fast", "multi")
+_VARIANTS = ("mdcc", "fast", "multi", "repcommit")
 
 #: default --compare tolerance: fail on a >10% events/wall-s drop.
 REGRESSION_TOLERANCE = 0.10

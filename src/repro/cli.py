@@ -34,6 +34,7 @@ from typing import List, Optional
 from repro.api import ClusterSpec, ScenarioSpec, run_scenario
 from repro.bench.harness import ExperimentResult, ScenarioResult
 from repro.db.cluster import PROTOCOLS
+from repro.protocols.base import get_protocol, protocols_supporting
 from repro.faults.schedule import NAMED_SCHEDULES
 
 __all__ = ["build_parser", "main"]
@@ -44,6 +45,7 @@ _PROTOCOL_NOTES = {
     "mdcc": "full MDCC: fast ballots + commutative updates + demarcation",
     "fast": "fast ballots without commutative update support",
     "multi": "master-routed classic ballots (Multi-Paxos per record)",
+    "repcommit": "Replicated Commit: Paxos across DCs over per-DC 2PC",
     "2pc": "two-phase commit over the same replicas",
     "qw3": "quorum writes, write quorum 3 (eventually consistent)",
     "qw4": "quorum writes, write quorum 4 (eventually consistent)",
@@ -182,9 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     _experiment_args(trace)
     trace.add_argument(
         "--protocol",
-        choices=("mdcc", "fast", "multi"),
+        choices=protocols_supporting("supports_tracing"),
         default="mdcc",
-        help="MDCC protocol variant to trace",
+        help="protocol to trace (must emit causal spans)",
     )
     trace.add_argument(
         "--schedule",
@@ -228,7 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=("us-west", "us-east", "eu-west"),
     )
     topo.add_argument(
-        "--protocol", choices=("mdcc", "fast", "multi"), default="mdcc"
+        "--protocol",
+        choices=protocols_supporting("supports_tcp"),
+        default="mdcc",
     )
     topo.add_argument("--partitions", type=int, default=1)
     topo.add_argument("--seed", type=int, default=1)
@@ -293,9 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--variant",
-        choices=("mdcc", "fast", "multi"),
+        choices=tuple(
+            name for name in PROTOCOLS if get_protocol(name).chaos_schedules
+        ),
         default="mdcc",
-        help="MDCC protocol variant under test",
+        help="protocol under test (see `repro list` for per-protocol "
+        "schedule support)",
     )
     chaos.add_argument("--workload", choices=WORKLOADS, default=None)
     chaos.add_argument("--clients", type=int, default=20)
@@ -340,9 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reconfig.add_argument(
         "--variant",
-        choices=("mdcc", "fast", "multi"),
+        choices=protocols_supporting("supports_elastic"),
         default="mdcc",
-        help="MDCC protocol variant under test",
+        help="protocol under test (elastic membership required)",
     )
     reconfig.add_argument(
         "--datacenters",
@@ -598,6 +605,8 @@ def _run_trace(args: argparse.Namespace) -> int:
     from repro.trace import runtime as trace_runtime
     from repro.trace.explain import spans_for_txid
 
+    if args.schedule is not None:
+        _check_schedule_support(args.protocol, args.schedule)
     spec = _spec_from_args(args, args.protocol, schedule=args.schedule)
     tracer = Tracer(seed=args.seed)
     registry = MetricsRegistry()
@@ -630,7 +639,19 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_schedule_support(protocol: str, schedule: str) -> None:
+    """A schedule outside the protocol's gated set is a usage error, not
+    a scenario: its guarantees are not defined under that fault."""
+    supported = get_protocol(protocol).chaos_schedules
+    if schedule not in supported:
+        raise SystemExit(
+            f"protocol {protocol!r} is not gated on schedule {schedule!r}; "
+            f"supported schedules: {', '.join(supported)}"
+        )
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
+    _check_schedule_support(args.variant, args.schedule)
     spec = _spec_from_args(args, args.variant, schedule=args.schedule)
     result = _run_traced(args.seed, args.trace, lambda: run_scenario(spec))
     payload = _scenario_payload(result, spec, args.events)

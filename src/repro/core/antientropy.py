@@ -214,13 +214,22 @@ class AntiEntropyAgent(Node):
         A replica that accepted an option but never saw its visibility
         keeps it pending forever — blocking validSingle and, for deltas,
         silently diverging from peers *at the same version* (which the
-        version-based catch-up above can never fix).  Two cases:
+        version-based catch-up above can never fix).  Three cases:
 
-        * executed at any peer → the commit decision is proven; re-drive
-          ``Visibility(committed=True)`` to the stuck replica directly.
-        * executed nowhere → the outcome is unknown here; hand the txid to
-          the attached recovery agent, which reconstructs the transaction
-          from a quorum and drives it to a definitive outcome.
+        * pending here, executed at any peer → the commit decision is
+          proven; re-drive ``Visibility(committed=True)`` to the stuck
+          replica directly.
+        * pending here, executed nowhere → the outcome is unknown; hand
+          the txid to the attached recovery agent, which reconstructs the
+          transaction from a quorum and drives it to a definitive outcome.
+        * executed at a peer but *wholly unknown* here (a lossy network
+          ate the propose itself, not just the visibility) → there is no
+          local option to re-drive, so escalate to the recovery agent the
+          same way: its closing ``Visibility`` broadcast carries the full
+          option payload, which the unaware replica executes on arrival
+          (and peers that already applied it deduplicate).  Without this
+          case a replica can sit at the *same version* as its peers with a
+          different delta set, invisible to every other repair path.
         """
         applied_anywhere: set = set()
         for reply in probe.replies.values():
@@ -241,6 +250,26 @@ class AntiEntropyAgent(Node):
                     self._recovery.recover(option.txid, probe.record)
                     report.recoveries_triggered += 1
                     self.counters.increment("antientropy.recoveries_triggered")
+        if self._recovery is None:
+            return
+        # Case three: ids applied at some peer that this replica has
+        # neither applied nor parked pending.  Only the txid is derivable
+        # (option ids are "txid:record" and peers do not ship payloads of
+        # already-applied options), hence the recovery detour.
+        suffix = f":{probe.record}"
+        for node_id, reply in probe.replies.items():
+            known = set(reply.applied_ids)
+            known.update(option.option_id for option in reply.pending)
+            for option_id in sorted(applied_anywhere - known):
+                if not option_id.endswith(suffix):
+                    continue
+                txid = option_id[: -len(suffix)]
+                if txid in escalated:
+                    continue
+                escalated.add(txid)
+                self._recovery.recover(txid, probe.record)
+                report.recoveries_triggered += 1
+                self.counters.increment("antientropy.recoveries_triggered")
 
     # ------------------------------------------------------------------
     # Periodic operation

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.options import Option, OptionStatus, RecordId
+from repro.core.options import Option, OptionStatus, RecordId, Update
 from repro.paxos.ballot import Ballot, BallotRange
 from repro.paxos.cstruct import CStruct
 
@@ -39,6 +39,12 @@ __all__ = [
     "OptionOutcome",
     "ProposeClassic",
     "ProposeFast",
+    "RcApply",
+    "RcCommitRequest",
+    "RcDecision",
+    "RcPrepare",
+    "RcPrepareReply",
+    "RcVote",
     "ReadReply",
     "ReadRequest",
     "RepairProbe",
@@ -337,6 +343,89 @@ class SnapshotAck:
     node_id: str
     records_adopted: int
     wal_cut: int
+
+
+# ----------------------------------------------------------------------
+# Replicated Commit (Paxos across DCs over per-DC 2PC; see
+# repro.protocols.replicatedcommit)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RcCommitRequest:
+    """Client → each DC's 2PC coordinator: run your local 2PC round.
+
+    Carries the full write-set so every data center can prepare (and
+    later apply) without any cross-DC record fetch — the transaction's
+    single client→DC wide-area hop.
+    """
+
+    txid: str
+    updates: Tuple[Tuple[RecordId, Update], ...]
+    reply_to: str  # the client tallying DC votes
+
+
+@dataclass(frozen=True, slots=True)
+class RcPrepare:
+    """DC coordinator → local participant: lock + validate one update."""
+
+    txid: str
+    record: RecordId
+    update: Update
+    reply_to: str  # the DC coordinator collecting local votes
+
+
+@dataclass(frozen=True, slots=True)
+class RcPrepareReply:
+    """Participant → DC coordinator: the local 2PC vote for one record.
+
+    ``reason`` names the refusal from the protocol's abort vocabulary
+    (``"prepared"`` on success) — surfaced in traces and the DC vote.
+    """
+
+    txid: str
+    record: RecordId
+    vote: bool
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class RcVote:
+    """DC coordinator → client: this data center's Paxos accept/reject.
+
+    The DC's 2PC outcome *is* its vote on the single Paxos value "did
+    this transaction commit?"; a classic majority of DCs decides.
+    """
+
+    txid: str
+    dc: str
+    accept: bool
+    voter: str  # coordinator node id (trace/debug attribution)
+
+
+@dataclass(frozen=True, slots=True)
+class RcDecision:
+    """Client → every DC coordinator: the majority decision.
+
+    Re-carries the write-set so a coordinator whose RcCommitRequest was
+    lost to a partition can still relay applies once reachable again.
+    """
+
+    txid: str
+    commit: bool
+    updates: Tuple[Tuple[RecordId, Update], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RcApply:
+    """DC coordinator → local participant: apply (or release) locally.
+
+    Commit applies are version-guarded and idempotent, so relaying them
+    is safe at any time — including re-deliveries after a heal.
+    """
+
+    txid: str
+    record: RecordId
+    update: Update
+    commit: bool
 
 
 # ----------------------------------------------------------------------

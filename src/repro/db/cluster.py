@@ -6,13 +6,10 @@ setup (§5.1): every data center holds a full replica, tables are
 partitioned across storage nodes within a data center, and clients are
 app-server nodes in a chosen data center.
 
-Protocols:
-
-* ``mdcc`` / ``fast`` / ``multi`` — the MDCC engine in its three
-  configurations (§5.3.1).
-* ``2pc`` — two-phase commit (:mod:`repro.protocols.twopc`).
-* ``qw3`` / ``qw4`` — quorum writes (:mod:`repro.protocols.quorumwrites`).
-* ``megastore`` — Megastore* (:mod:`repro.protocols.megastore`).
+Which protocols exist, how their roles are built, and what features they
+can run all come from the :mod:`repro.protocols.base` registry — this
+module asks the :class:`~repro.protocols.base.Protocol` descriptor and
+never branches on a protocol name.
 """
 
 from __future__ import annotations
@@ -20,14 +17,13 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.config import MDCCConfig, ProtocolVariant
-from repro.core.coordinator import MDCCCoordinator
+from repro.core.config import MDCCConfig
 from repro.core.options import RecordId
 from repro.core.recovery import RecoveryAgent
-from repro.core.storage_node import MDCCStorageNode
 from repro.core.topology import ReplicaMap
 from repro.db.client import Transaction
 from repro.metrics import CounterSet
+from repro.protocols.base import PROTOCOLS, get_protocol, protocols_supporting
 from repro.sim.core import Simulator
 from repro.sim.network import EC2_REGIONS, LatencyModel, Network
 from repro.sim.rng import RngRegistry
@@ -37,14 +33,6 @@ from repro.transport.simnet import SimTransport
 from repro.storage.schema import TableSchema
 
 __all__ = ["Cluster", "build_cluster", "PROTOCOLS"]
-
-PROTOCOLS = ("mdcc", "fast", "multi", "2pc", "qw3", "qw4", "megastore")
-
-_VARIANTS = {
-    "mdcc": ProtocolVariant.MDCC,
-    "fast": ProtocolVariant.FAST,
-    "multi": ProtocolVariant.MULTI,
-}
 
 
 class Cluster:
@@ -60,6 +48,8 @@ class Cluster:
         rng: RngRegistry,
     ) -> None:
         self.protocol = protocol
+        #: the registry descriptor: role factories + capability flags.
+        self.descriptor = get_protocol(protocol)
         self.transport = transport
         # Simulator-backed deployments expose the substrate for drivers
         # (sim.run_until, fault injection); None over other backends.
@@ -121,51 +111,14 @@ class Cluster:
         return client
 
     def _make_client(self, node_id: str, dc: str):
-        if self.protocol in _VARIANTS:
-            return MDCCCoordinator(
-                self.transport,
-                node_id,
-                dc,
-                placement=self.placement,
-                config=self.config,
-                counters=self.counters,
-            )
-        if self.protocol == "2pc":
-            from repro.protocols.twopc import TwoPCCoordinator
-
-            return TwoPCCoordinator(
-                self.transport,
-                node_id,
-                dc,
-                placement=self.placement,
-                config=self.config,
-                counters=self.counters,
-            )
-        if self.protocol in ("qw3", "qw4"):
-            from repro.protocols.quorumwrites import QuorumWriteClient
-
-            write_quorum = 3 if self.protocol == "qw3" else 4
-            return QuorumWriteClient(
-                self.transport,
-                node_id,
-                dc,
-                placement=self.placement,
-                config=self.config,
-                counters=self.counters,
-                write_quorum=write_quorum,
-            )
-        if self.protocol == "megastore":
-            from repro.protocols.megastore import MegastoreClient
-
-            return MegastoreClient(
-                self.transport,
-                node_id,
-                dc,
-                placement=self.placement,
-                config=self.config,
-                counters=self.counters,
-            )
-        raise ValueError(f"unknown protocol {self.protocol!r}")
+        return self.descriptor.make_client(
+            self.transport,
+            node_id,
+            dc,
+            placement=self.placement,
+            config=self.config,
+            counters=self.counters,
+        )
 
     def add_recovery_agent(self, dc: str, name: Optional[str] = None) -> RecoveryAgent:
         node_id = name or f"recovery-{dc}-{next(self._client_seq)}"
@@ -196,17 +149,17 @@ class Cluster:
         """Start a transaction on ``client`` (an app-server node).
 
         ``serializable=True`` enables §4.4 read-set validation on commit —
-        supported by the MDCC variants and 2PC (both validate versions at
-        the storage nodes); the eventually consistent and Megastore*
-        baselines have no machinery for it.
+        available on protocols whose storage nodes validate read versions
+        (the ``supports_serializable`` capability); the eventually
+        consistent and Megastore* baselines have no machinery for it.
         """
-        if serializable and self.protocol not in (*_VARIANTS, "2pc"):
+        if serializable and not self.descriptor.supports_serializable:
             raise ValueError(
                 f"protocol {self.protocol!r} does not support serializable "
                 "transactions"
             )
         commutative = (
-            self.protocol in _VARIANTS and self.config.commutative_enabled
+            self.descriptor.supports_commutative and self.config.commutative_enabled
         )
         return Transaction(
             client, commutative=commutative, serializable=serializable
@@ -219,13 +172,13 @@ class Cluster:
         """Build and register ``dc``'s storage nodes at runtime (a join).
 
         The new nodes carry every registered table schema but no data —
-        the reconfig manager's snapshot bootstrap fills them.  MDCC
-        variants only (elastic clusters are built that way).
+        the reconfig manager's snapshot bootstrap fills them.  Elastic
+        clusters only (``supports_elastic`` gates the build).
         """
         node_ids: List[str] = []
         for partition in range(self.placement.partitions_per_table):
             node_id = self.placement.storage_node_id(dc, partition)
-            node = MDCCStorageNode(
+            node = self.descriptor.make_storage_node(
                 self.transport,
                 node_id,
                 dc,
@@ -295,21 +248,22 @@ def build_cluster(
     operations themselves (by design: the manager is an ordinary node,
     not an oracle), so schedules should pick their victims elsewhere.
     """
-    if protocol not in PROTOCOLS:
-        raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
-    if protocol == "megastore" and partitions_per_table != 1:
+    descriptor = get_protocol(protocol)
+    if descriptor.single_entity_group and partitions_per_table != 1:
         # The paper's Megastore* places all data in a single entity group
         # ("we placed all data into a single entity group", §5.2): one log.
-        raise ValueError("megastore uses a single entity group: 1 partition")
-    if master_policy == "adaptive" and protocol not in _VARIANTS:
+        raise ValueError(f"{protocol} uses a single entity group: 1 partition")
+    if master_policy == "adaptive" and not descriptor.supports_placement:
+        supported = ", ".join(protocols_supporting("supports_placement"))
         raise ValueError(
             "adaptive master placement requires an MDCC variant "
-            f"({', '.join(_VARIANTS)}); got {protocol!r}"
+            f"({supported}); got {protocol!r}"
         )
-    if elastic and protocol not in _VARIANTS:
+    if elastic and not descriptor.supports_elastic:
+        supported = ", ".join(protocols_supporting("supports_elastic"))
         raise ValueError(
             "elastic membership requires an MDCC variant "
-            f"({', '.join(_VARIANTS)}); got {protocol!r}"
+            f"({supported}); got {protocol!r}"
         )
     rng = RngRegistry(seed=seed)
     sim = Simulator()
@@ -335,10 +289,7 @@ def build_cluster(
         membership=membership,
     )
     if config is None:
-        config = MDCCConfig(
-            replication=len(placement.datacenters),
-            variant=_VARIANTS.get(protocol, ProtocolVariant.MDCC),
-        )
+        config = descriptor.default_config(len(placement.datacenters))
     elif config.replication != len(placement.datacenters):
         raise ValueError(
             f"config.replication={config.replication} does not match "
@@ -385,53 +336,15 @@ def build_cluster(
 
 def _build_storage_nodes(cluster: Cluster) -> Dict[str, object]:
     nodes: Dict[str, object] = {}
-    protocol = cluster.protocol
     for dc in cluster.placement.datacenters:
         for partition in range(cluster.placement.partitions_per_table):
             node_id = cluster.placement.storage_node_id(dc, partition)
-            if protocol in _VARIANTS:
-                node = MDCCStorageNode(
-                    cluster.transport,
-                    node_id,
-                    dc,
-                    placement=cluster.placement,
-                    config=cluster.config,
-                    counters=cluster.counters,
-                )
-            elif protocol == "2pc":
-                from repro.protocols.twopc import TwoPCStorageNode
-
-                node = TwoPCStorageNode(
-                    cluster.transport,
-                    node_id,
-                    dc,
-                    placement=cluster.placement,
-                    config=cluster.config,
-                    counters=cluster.counters,
-                )
-            elif protocol in ("qw3", "qw4"):
-                from repro.protocols.quorumwrites import QuorumWriteStorageNode
-
-                node = QuorumWriteStorageNode(
-                    cluster.transport,
-                    node_id,
-                    dc,
-                    placement=cluster.placement,
-                    config=cluster.config,
-                    counters=cluster.counters,
-                )
-            elif protocol == "megastore":
-                from repro.protocols.megastore import MegastoreStorageNode
-
-                node = MegastoreStorageNode(
-                    cluster.transport,
-                    node_id,
-                    dc,
-                    placement=cluster.placement,
-                    config=cluster.config,
-                    counters=cluster.counters,
-                )
-            else:  # pragma: no cover - guarded by build_cluster
-                raise ValueError(protocol)
-            nodes[node_id] = node
+            nodes[node_id] = cluster.descriptor.make_storage_node(
+                cluster.transport,
+                node_id,
+                dc,
+                placement=cluster.placement,
+                config=cluster.config,
+                counters=cluster.counters,
+            )
     return nodes

@@ -39,10 +39,6 @@ __all__ = ["ChaosController", "CHAOS_TABLE"]
 #: the workload's update ledger never sees out-of-band writes.
 CHAOS_TABLE = "chaos_probe"
 
-#: Protocols whose recovery machinery the coordinator-crash fault exercises.
-_MDCC_PROTOCOLS = ("mdcc", "fast", "multi")
-
-
 class _DanglingCoordinator(MDCCCoordinator):
     """A coordinator that dies right before sending visibilities.
 
@@ -96,7 +92,7 @@ class ChaosController:
             raise RuntimeError("ChaosController.install() called twice")
         self._installed = True
         crashes = self.schedule.count("crash-coordinator")
-        if crashes and self.cluster.protocol in _MDCC_PROTOCOLS:
+        if crashes and self.cluster.descriptor.supports_recovery:
             self.cluster.register_table(TableSchema(CHAOS_TABLE))
             for index in range(crashes):
                 self.cluster.load_record(
@@ -259,7 +255,7 @@ class ChaosController:
     # Coordinator crash mid-commit
     # ------------------------------------------------------------------
     def _do_crash_coordinator(self, params: Dict[str, object]) -> None:
-        if self.cluster.protocol not in _MDCC_PROTOCOLS:
+        if not self.cluster.descriptor.supports_recovery:
             self._record(
                 "coordinator-crash-skipped",
                 reason=f"no recovery agent for protocol {self.cluster.protocol}",

@@ -8,8 +8,8 @@ Figure 8 needs a time series of latencies around a failure event.
 The instruments are pure data structures with no dependency on the
 simulator or any transport backend — protocol roles count commits the
 same way whether they run above the discrete-event loop or as real
-processes over TCP.  (:mod:`repro.sim.monitor` re-exports this module
-for backward compatibility.)
+processes over TCP.  (:mod:`repro.sim` re-exports the common names for
+convenience.)
 """
 
 from __future__ import annotations

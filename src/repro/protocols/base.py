@@ -1,0 +1,422 @@
+"""The protocol abstraction layer: one contract for every protocol.
+
+The paper's evaluation (§5.2) compares five replica-management designs —
+the MDCC engine in three configurations, and the 2PC / quorum-writes /
+Megastore* baselines — "implemented ... using the same distributed store,
+and accessed by the same clients".  This module is that comparison
+surface as code: a :class:`Protocol` descriptor names each protocol's
+
+* **role factories** — how to build its app-server client and its
+  storage-node replica over any :class:`~repro.transport.base.Transport`;
+* **capability flags** — which cluster features it can run (adaptive
+  placement, elastic membership, causal tracing, serializable reads,
+  commutative updates, §3.2.3 recovery, the TCP backend, anti-entropy
+  repair);
+* **vocabulary** — its conflict/abort reasons and causal trace span
+  kinds, and which named chaos schedules its guarantees are gated on.
+
+Everything that used to special-case protocol names — cluster wiring,
+spec validation, the bench harness, the chaos controller, CLI choices —
+asks the registry instead.  Adding a protocol means registering one
+descriptor here; no other layer grows an ``if protocol ==`` branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.config import MDCCConfig, ProtocolVariant
+
+__all__ = [
+    "PROTOCOLS",
+    "Protocol",
+    "get_protocol",
+    "protocols_supporting",
+    "register_protocol",
+]
+
+#: Capability-flag names :func:`protocols_supporting` accepts (also the
+#: columns of the README capability matrix).
+CAPABILITY_FLAGS = (
+    "supports_placement",
+    "supports_elastic",
+    "supports_tracing",
+    "supports_serializable",
+    "supports_commutative",
+    "supports_recovery",
+    "supports_tcp",
+    "supports_antientropy",
+)
+
+#: Factory signature shared by both roles: positional (transport,
+#: node_id, dc), keyword placement/config/counters.
+RoleFactory = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """One replica-management protocol as a first-class descriptor.
+
+    Attributes:
+        name: the CLI/spec identifier (``"mdcc"``, ``"2pc"``, ...).
+        summary: one line for ``repro compare`` output and docs.
+        variant: the :class:`ProtocolVariant` configuring the MDCC engine,
+            or ``None`` for protocols with their own state machines.
+        client_factory / storage_factory: build the app-server and
+            storage-node roles (lazy imports keep the registry cheap).
+        supports_placement: adaptive mastership migration can run.
+        supports_elastic: runtime DC join/leave (epoch-fenced quorums).
+        supports_tracing: the roles emit causal trace spans.
+        supports_serializable: §4.4 read-set validation at commit.
+        supports_commutative: commutative (delta) updates with escrow.
+        supports_recovery: §3.2.3 recovery agents can finish its dangling
+            transactions (gates the coordinator-crash chaos fault).
+        supports_tcp: the roles run over ``AsyncioTcpTransport``.
+        supports_antientropy: replicas answer ``RepairProbe``/``CatchUp``
+            so background sweeps converge them after a fault.
+        single_entity_group: all data shares one partition (Megastore*).
+        preferred_client_dc: pin clients to one DC when unset (the paper
+            places Megastore* clients with its master in US-West).
+        chaos_schedules: named fault schedules this protocol's guarantees
+            are gated on in the chaos matrix.
+        trace_span_kinds: the span vocabulary its roles emit.
+        abort_reasons: the conflict/abort vocabulary its commit path can
+            decide (empty for protocols that never abort).
+    """
+
+    name: str
+    summary: str
+    variant: Optional[ProtocolVariant] = None
+    client_factory: Optional[RoleFactory] = field(default=None, repr=False)
+    storage_factory: Optional[RoleFactory] = field(default=None, repr=False)
+    supports_placement: bool = False
+    supports_elastic: bool = False
+    supports_tracing: bool = False
+    supports_serializable: bool = False
+    supports_commutative: bool = False
+    supports_recovery: bool = False
+    supports_tcp: bool = False
+    supports_antientropy: bool = False
+    single_entity_group: bool = False
+    preferred_client_dc: Optional[str] = None
+    chaos_schedules: Tuple[str, ...] = ()
+    trace_span_kinds: Tuple[str, ...] = ()
+    abort_reasons: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Role construction (the commit-lifecycle entry points)
+    # ------------------------------------------------------------------
+    def make_client(
+        self, transport, node_id: str, dc: str, *, placement, config, counters
+    ):
+        """Build this protocol's app-server node (``read``/``commit``)."""
+        return self.client_factory(
+            transport, node_id, dc,
+            placement=placement, config=config, counters=counters,
+        )
+
+    def make_storage_node(
+        self, transport, node_id: str, dc: str, *, placement, config, counters
+    ):
+        """Build this protocol's storage-node replica."""
+        return self.storage_factory(
+            transport, node_id, dc,
+            placement=placement, config=config, counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Quorum/engine configuration
+    # ------------------------------------------------------------------
+    def make_config(self, replication: int, **tunables) -> Optional[MDCCConfig]:
+        """The :class:`MDCCConfig` a spec's tunables describe.
+
+        ``None`` for protocols that do not parameterize the MDCC engine —
+        their clusters run on :meth:`default_config` and the γ/batching
+        knobs have nothing to configure.
+        """
+        if self.variant is None:
+            return None
+        return MDCCConfig(replication=replication, variant=self.variant, **tunables)
+
+    def default_config(self, replication: int) -> MDCCConfig:
+        """The config a cluster of this protocol runs when none is given.
+
+        Protocols outside the MDCC engine still share its timeout/quorum
+        parameters (``learn_timeout_ms``, :attr:`MDCCConfig.quorums`), so
+        they get a neutral default-variant config.
+        """
+        return MDCCConfig(
+            replication=replication,
+            variant=self.variant if self.variant is not None else ProtocolVariant.MDCC,
+        )
+
+
+# ----------------------------------------------------------------------
+# Role factories (lazy imports: the registry must not pull every
+# protocol module — or the trace/placement machinery — at import time)
+# ----------------------------------------------------------------------
+def _mdcc_client(transport, node_id, dc, *, placement, config, counters):
+    from repro.core.coordinator import MDCCCoordinator
+
+    return MDCCCoordinator(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _mdcc_storage(transport, node_id, dc, *, placement, config, counters):
+    from repro.core.storage_node import MDCCStorageNode
+
+    return MDCCStorageNode(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _twopc_client(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.twopc import TwoPCCoordinator
+
+    return TwoPCCoordinator(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _twopc_storage(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.twopc import TwoPCStorageNode
+
+    return TwoPCStorageNode(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _qw_client(write_quorum: int) -> RoleFactory:
+    def make(transport, node_id, dc, *, placement, config, counters):
+        from repro.protocols.quorumwrites import QuorumWriteClient
+
+        return QuorumWriteClient(
+            transport, node_id, dc,
+            placement=placement, config=config, counters=counters,
+            write_quorum=write_quorum,
+        )
+
+    return make
+
+
+def _qw_storage(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.quorumwrites import QuorumWriteStorageNode
+
+    return QuorumWriteStorageNode(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _megastore_client(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.megastore import MegastoreClient
+
+    return MegastoreClient(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _megastore_storage(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.megastore import MegastoreStorageNode
+
+    return MegastoreStorageNode(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _repcommit_client(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.replicatedcommit import ReplicatedCommitClient
+
+    return ReplicatedCommitClient(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+def _repcommit_storage(transport, node_id, dc, *, placement, config, counters):
+    from repro.protocols.replicatedcommit import ReplicatedCommitStorageNode
+
+    return ReplicatedCommitStorageNode(
+        transport, node_id, dc,
+        placement=placement, config=config, counters=counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Protocol] = {}
+
+
+def register_protocol(protocol: Protocol) -> Protocol:
+    """Add one descriptor to the registry (rejects duplicate names)."""
+    if protocol.name in _REGISTRY:
+        raise ValueError(f"protocol {protocol.name!r} already registered")
+    _REGISTRY[protocol.name] = protocol
+    return protocol
+
+
+def get_protocol(name: str) -> Protocol:
+    """The descriptor for ``name``; raises the canonical unknown error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {PROTOCOLS}"
+        ) from None
+
+
+def protocols_supporting(flag: str) -> Tuple[str, ...]:
+    """Protocol names with capability ``flag``, in registry order."""
+    if flag not in CAPABILITY_FLAGS:
+        raise ValueError(
+            f"unknown capability flag {flag!r}; choose from {CAPABILITY_FLAGS}"
+        )
+    return tuple(
+        name for name, proto in _REGISTRY.items() if getattr(proto, flag)
+    )
+
+
+_ALL_SCHEDULES = (
+    "dc-outage",
+    "rolling-partitions",
+    "flaky-wan",
+    "coordinator-crash",
+    "follow-the-sun-outage",
+    "dc-replace",
+)
+
+#: Network-level fault schedules: no protocol-specific recovery or
+#: membership machinery required to survive them.
+_NETWORK_SCHEDULES = ("dc-outage", "rolling-partitions", "flaky-wan")
+
+_MDCC_SPANS = (
+    "fast-accept",
+    "phase1-takeover",
+    "phase2-drive",
+    "visibility-fanout",
+    "recovery-escalation",
+    "demarcation-check",
+)
+
+_MDCC_ABORTS = ("option-rejected", "demarcation-limit", "collision-recovery")
+
+
+def _register_mdcc(name: str, variant: ProtocolVariant, summary: str) -> None:
+    register_protocol(
+        Protocol(
+            name=name,
+            summary=summary,
+            variant=variant,
+            client_factory=_mdcc_client,
+            storage_factory=_mdcc_storage,
+            supports_placement=True,
+            supports_elastic=True,
+            supports_tracing=True,
+            supports_serializable=True,
+            supports_commutative=True,
+            supports_recovery=True,
+            supports_tcp=True,
+            supports_antientropy=True,
+            chaos_schedules=_ALL_SCHEDULES,
+            trace_span_kinds=_MDCC_SPANS,
+            abort_reasons=_MDCC_ABORTS,
+        )
+    )
+
+
+_register_mdcc(
+    "mdcc",
+    ProtocolVariant.MDCC,
+    "the full protocol: fast ballots + commutative options (§3)",
+)
+_register_mdcc(
+    "fast",
+    ProtocolVariant.FAST,
+    "fast ballots, physical (non-commutative) updates only (§5.3.1)",
+)
+_register_mdcc(
+    "multi",
+    ProtocolVariant.MULTI,
+    "classic master-routed ballots, Multi-Paxos-style (§5.3.1)",
+)
+
+register_protocol(
+    Protocol(
+        name="repcommit",
+        summary="Replicated Commit: Paxos across DCs over per-DC 2PC "
+        "(Patterson et al.), majority reads",
+        client_factory=_repcommit_client,
+        storage_factory=_repcommit_storage,
+        supports_tracing=True,
+        supports_serializable=True,
+        supports_tcp=True,
+        supports_antientropy=True,
+        chaos_schedules=_NETWORK_SCHEDULES,
+        trace_span_kinds=("rc-local-prepare", "rc-paxos-vote", "rc-commit-apply"),
+        abort_reasons=(
+            "lock-conflict",
+            "stale-read",
+            "constraint",
+            "escrow-limit",
+            "decided",
+            "minority",
+            "vote-timeout",
+        ),
+    )
+)
+
+register_protocol(
+    Protocol(
+        name="2pc",
+        summary="two-phase commit: two rounds to ALL replicas, blocking "
+        "coordinator (§5.2)",
+        client_factory=_twopc_client,
+        storage_factory=_twopc_storage,
+        supports_serializable=True,
+        abort_reasons=(
+            "lock-conflict",
+            "stale-read",
+            "constraint",
+            "escrow-limit",
+            "decided",
+            "prepare-timeout",
+        ),
+    )
+)
+
+for _qw_name, _quorum in (("qw3", 3), ("qw4", 4)):
+    register_protocol(
+        Protocol(
+            name=_qw_name,
+            summary=f"quorum writes (W={_quorum}): eventually consistent "
+            "LWW, never aborts (§5.2)",
+            client_factory=_qw_client(_quorum),
+            storage_factory=_qw_storage,
+        )
+    )
+
+register_protocol(
+    Protocol(
+        name="megastore",
+        summary="Megastore*: one entity group, master-serialized log "
+        "positions, Paxos-CP batching (§5.2)",
+        client_factory=_megastore_client,
+        storage_factory=_megastore_storage,
+        single_entity_group=True,
+        preferred_client_dc="us-west",
+        abort_reasons=("log-position-conflict",),
+    )
+)
+
+#: Registry order: the MDCC engine variants, then Replicated Commit, then
+#: the §5.2 baselines — the order CLI choices and docs present them in.
+PROTOCOLS: Tuple[str, ...] = tuple(_REGISTRY)

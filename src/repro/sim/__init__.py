@@ -17,7 +17,7 @@ Public surface:
 * :class:`repro.sim.network.LatencyModel` — the five-DC RTT matrix.
 * :class:`repro.sim.node.Node` — base class for protocol actors.
 * :class:`repro.metrics.LatencyRecorder` — percentile/CDF collection
-  (re-exported here; ``repro.sim.monitor`` is deprecated).
+  (re-exported here from :mod:`repro.metrics`).
 """
 
 from repro.metrics import Counter, CounterSet, LatencyRecorder, TimeSeries

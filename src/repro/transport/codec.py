@@ -70,6 +70,12 @@ MESSAGE_TYPES: Tuple[type, ...] = (
     _messages.OptionOutcome,
     _messages.ProposeClassic,
     _messages.ProposeFast,
+    _messages.RcApply,
+    _messages.RcCommitRequest,
+    _messages.RcDecision,
+    _messages.RcPrepare,
+    _messages.RcPrepareReply,
+    _messages.RcVote,
     _messages.ReadReply,
     _messages.ReadRequest,
     _messages.RepairProbe,

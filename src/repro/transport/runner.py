@@ -62,7 +62,7 @@ def _await_future(fut: Future) -> "asyncio.Future":
 # Server process
 # ----------------------------------------------------------------------
 async def _serve_async(topology: Topology, node_id: str) -> None:
-    from repro.core.storage_node import MDCCStorageNode
+    from repro.protocols.base import get_protocol
     from repro.workloads.micro import MicroBenchmark
 
     address = topology.nodes.get(node_id)
@@ -73,7 +73,7 @@ async def _serve_async(topology: Topology, node_id: str) -> None:
     transport = AsyncioTcpTransport(
         topology, local_dc=address.dc, listen=(address.host, address.port)
     )
-    node = MDCCStorageNode(
+    node = get_protocol(topology.protocol).make_storage_node(
         transport,
         node_id,
         address.dc,
@@ -177,7 +177,7 @@ def terminate_servers(
 # ----------------------------------------------------------------------
 async def _drive_client(
     coordinator,
-    config,
+    commutative: bool,
     topology: Topology,
     rng,
     transactions: int,
@@ -196,7 +196,7 @@ async def _drive_client(
             if key not in chosen:
                 chosen.append(key)
         amounts = [rng.randint(1, 3) for _ in chosen]
-        tx = Transaction(coordinator, commutative=config.commutative_enabled)
+        tx = Transaction(coordinator, commutative=commutative)
         started = time.monotonic()
         try:
             for key in chosen:
@@ -229,10 +229,12 @@ async def _run_workload_async(
     tx_timeout_s: float,
     shutdown_servers: bool,
 ) -> Dict[str, object]:
-    from repro.core.coordinator import MDCCCoordinator
+    from repro.protocols.base import get_protocol
 
+    descriptor = get_protocol(topology.protocol)
     placement = topology.build_placement()
     config = topology.build_config()
+    commutative = descriptor.supports_commutative and config.commutative_enabled
     counters = CounterSet()
     dcs = list(client_dcs) if client_dcs else list(topology.datacenters)
     transport = AsyncioTcpTransport(topology, local_dc=dcs[0], listen=None)
@@ -243,7 +245,7 @@ async def _run_workload_async(
     tasks = []
     for index in range(clients):
         dc = dcs[index % len(dcs)]
-        coordinator = MDCCCoordinator(
+        coordinator = descriptor.make_client(
             transport,
             f"app-{dc}-driver{index + 1}",
             dc,
@@ -254,7 +256,7 @@ async def _run_workload_async(
         tasks.append(
             _drive_client(
                 coordinator,
-                config,
+                commutative,
                 topology,
                 rng_registry.stream(f"workload.client.{index}"),
                 transactions_per_client,
@@ -361,7 +363,7 @@ async def _flaky_wan_nemesis(
 
 
 async def _chaos_client(
-    coordinator, config, topology: Topology, rng, stop: asyncio.Event, ledger: Dict
+    coordinator, commutative, topology: Topology, rng, stop: asyncio.Event, ledger: Dict
 ) -> Dict[str, int]:
     """Issue buys until ``stop``; record committed deltas in ``ledger``."""
     from repro.db.client import Transaction
@@ -377,7 +379,7 @@ async def _chaos_client(
             if key not in chosen:
                 chosen.append(key)
         amounts = [rng.randint(1, 3) for _ in chosen]
-        tx = Transaction(coordinator, commutative=config.commutative_enabled)
+        tx = Transaction(coordinator, commutative=commutative)
         try:
             for key in chosen:
                 await asyncio.wait_for(
@@ -409,11 +411,13 @@ async def _flaky_wan_async(
     topology: Topology, *, clients: int, chaos_s: float
 ) -> Dict[str, object]:
     from repro.core.antientropy import AntiEntropyAgent
-    from repro.core.coordinator import MDCCCoordinator
     from repro.core.recovery import RecoveryAgent
+    from repro.protocols.base import get_protocol
 
+    descriptor = get_protocol(topology.protocol)
     placement = topology.build_placement()
     config = topology.build_config()
+    commutative = descriptor.supports_commutative and config.commutative_enabled
     counters = CounterSet()
     dcs = list(topology.datacenters)
     transport = AsyncioTcpTransport(topology, local_dc=dcs[0], listen=None)
@@ -424,7 +428,7 @@ async def _flaky_wan_async(
     workers = []
     for index in range(clients):
         dc = dcs[index % len(dcs)]
-        coordinator = MDCCCoordinator(
+        coordinator = descriptor.make_client(
             transport,
             f"app-{dc}-chaos{index + 1}",
             dc,
@@ -437,7 +441,7 @@ async def _flaky_wan_async(
             asyncio.create_task(
                 _chaos_client(
                     coordinator,
-                    config,
+                    commutative,
                     topology,
                     rng_registry.stream(f"workload.client.{index}"),
                     stop,
@@ -454,14 +458,6 @@ async def _flaky_wan_async(
 
         # Post-heal repair: anti-entropy sweeps re-drive lost visibilities
         # (with a recovery agent for options pending everywhere).
-        recovery = RecoveryAgent(
-            transport,
-            "recovery-driver",
-            dcs[0],
-            placement=placement,
-            config=config,
-            counters=counters,
-        )
         agent = AntiEntropyAgent(
             transport,
             "antientropy-driver",
@@ -470,7 +466,17 @@ async def _flaky_wan_async(
             config=config,
             counters=counters,
         )
-        agent.attach_recovery(recovery)
+        if descriptor.supports_recovery:
+            agent.attach_recovery(
+                RecoveryAgent(
+                    transport,
+                    "recovery-driver",
+                    dcs[0],
+                    placement=placement,
+                    config=config,
+                    counters=counters,
+                )
+            )
         keys = topology.item_keys()
         for _round in range(4):
             await asyncio.wait_for(_await_future(agent.sweep(ITEMS_TABLE, keys)), 120.0)

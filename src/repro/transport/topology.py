@@ -31,19 +31,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import MDCCConfig, ProtocolVariant
+from repro.core.config import MDCCConfig
 from repro.core.options import RecordId
 from repro.core.topology import ReplicaMap
+from repro.protocols.base import get_protocol, protocols_supporting
 from repro.sim.rng import RngRegistry
 from repro.transport.base import TransportError
 
 __all__ = ["NodeAddress", "Topology", "make_local_topology"]
-
-_VARIANTS = {
-    "mdcc": ProtocolVariant.MDCC,
-    "fast": ProtocolVariant.FAST,
-    "multi": ProtocolVariant.MULTI,
-}
 
 
 @dataclass(frozen=True)
@@ -66,10 +61,15 @@ class Topology:
     workload: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.protocol not in _VARIANTS:
+        try:
+            descriptor = get_protocol(self.protocol)
+        except ValueError:
+            descriptor = None
+        if descriptor is None or not descriptor.supports_tcp:
+            supported = protocols_supporting("supports_tcp")
             raise TransportError(
-                f"TCP topologies support the MDCC variants {tuple(_VARIANTS)}; "
-                f"got {self.protocol!r}"
+                f"TCP topologies support the MDCC variants and Replicated "
+                f"Commit {supported}; got {self.protocol!r}"
             )
         for node_id, address in self.nodes.items():
             if address.dc not in self.datacenters:
@@ -137,9 +137,7 @@ class Topology:
     def build_config(self, config: Optional[MDCCConfig] = None) -> MDCCConfig:
         if config is not None:
             return config
-        return MDCCConfig(
-            replication=len(self.datacenters), variant=_VARIANTS[self.protocol]
-        )
+        return get_protocol(self.protocol).default_config(len(self.datacenters))
 
     # ------------------------------------------------------------------
     # Workload preload

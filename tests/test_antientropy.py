@@ -258,3 +258,51 @@ class TestRepairUnderCommutativeLoad:
         east = cluster.read_committed("items", "a", dc="us-east")
         assert east.value["stock"] == 85
         assert check_replica_convergence(cluster, "items", ["a"]) == []
+
+    def test_same_version_divergence_escalates_to_recovery(self):
+        """Replicas at the SAME version holding different delta sets.
+
+        Three deltas, each committed while a different replica was dark,
+        leave every replica at version 4 with a different value — and no
+        replica holds the full set, so version-based catch-up sees nothing
+        to do.  The sweep must notice ids applied at a peer but wholly
+        unknown locally (the propose itself was lost, nothing is pending)
+        and escalate those transactions to the recovery agent, whose
+        closing visibility broadcast carries the payloads the dark
+        replicas never saw."""
+        cluster = make_cluster(
+            seed=12, datacenters=("us-west", "us-east", "eu-west")
+        )
+        cluster.load_record("items", "a", {"stock": 100})
+        clients = {dc: cluster.add_client(dc) for dc in
+                   ("us-west", "us-east", "eu-west")}
+
+        for dark, origin, amount in (
+            ("eu-west", "us-west", 1),
+            ("us-west", "us-east", 2),
+            ("us-east", "eu-west", 4),
+        ):
+            cluster.fail_datacenter(dark)
+            tx = cluster.begin(clients[origin])
+            tx.decrement("items", "a", "stock", amount)
+            assert run_tx(cluster, tx.commit()).committed
+            drain(cluster)
+            cluster.recover_datacenter(dark)
+
+        # Each replica missed a different delta: divergent, yet nobody
+        # lags by version, so the old repair paths are all blind to it.
+        assert len(check_replica_convergence(cluster, "items", ["a"])) == 1
+
+        agent = cluster.add_anti_entropy_agent("us-west")
+        agent.attach_recovery(cluster.add_recovery_agent("us-west"))
+        report = run_tx(cluster, agent.sweep("items", ["a"]))
+        assert report.recoveries_triggered > 0
+        drain(cluster, ms=30_000)
+        run_tx(cluster, agent.sweep("items", ["a"]))
+        drain(cluster, ms=30_000)
+
+        assert check_replica_convergence(cluster, "items", ["a"]) == []
+        for dc in ("us-west", "us-east", "eu-west"):
+            assert cluster.read_committed("items", "a", dc=dc).value == {
+                "stock": 93
+            }

@@ -1,11 +1,12 @@
-"""The typed scenario-spec API: signatures, JSON round-trip, shims.
+"""The typed scenario-spec API: signatures, JSON round-trip, rejection.
 
 The spec dataclasses are a public contract: the golden-signature tests
 pin their exact field names and defaults so any change is a deliberate,
 reviewed act (specs are committed as JSON artifacts and must keep
-loading).  The shim tests pin the other half of the contract: legacy
-keyword calls and spec calls must produce identical simulated
-trajectories, byte for byte.
+loading).  The legacy keyword surface was removed — the tests pin the
+loud TypeError so old call sites fail with a pointer to the raw
+harness, and verify spec calls drive the same trajectory as direct
+harness calls, byte for byte.
 """
 
 import dataclasses
@@ -14,7 +15,7 @@ import json
 import pytest
 
 from repro.api import ClusterSpec, ScenarioSpec, build_cluster, run_scenario
-from repro.bench.harness import run_scenario as legacy_run_scenario
+from repro.bench.harness import run_scenario as harness_run_scenario
 from repro.cli import main
 from repro.faults.schedule import named_schedule
 
@@ -109,37 +110,30 @@ def test_spec_validation():
 
 
 # ----------------------------------------------------------------------
-# Legacy keyword shims: identical results, plus the warning
+# The legacy keyword surface is gone: specs are the only entry point
 # ----------------------------------------------------------------------
-def test_legacy_run_scenario_kwargs_match_spec_json():
+def test_legacy_keyword_surfaces_removed():
+    schedule = named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0)
+    with pytest.raises(TypeError, match="legacy protocol-string surface was removed"):
+        build_cluster("fast", seed=11)
+    with pytest.raises(TypeError, match="FaultSchedule surface was removed"):
+        run_scenario(schedule, variant="mdcc")
+
+
+def test_spec_and_direct_harness_calls_agree():
+    """run_scenario(spec) drives the same harness as a raw-keyword call."""
     spec = ScenarioSpec(
-        cluster=ClusterSpec(protocol="multi", seed=7),
+        cluster=ClusterSpec(protocol="mdcc", seed=3),
         schedule="dc-outage",
-        bucket_s=3.0,
-        **SMALL,
+        clients=4,
+        items=60,
+        warmup_s=1.0,
+        measure_s=6.0,
     )
     via_spec = run_scenario(spec)
     schedule = named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0)
-    with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
-        via_kwargs = run_scenario(
-            schedule,
-            variant="multi",
-            num_clients=5,
-            num_items=80,
-            warmup_ms=1_000.0,
-            measure_ms=6_000.0,
-            seed=7,
-            bucket_ms=3_000.0,
-        )
-    assert json.dumps(via_spec.as_dict(), sort_keys=True) == json.dumps(
-        via_kwargs.as_dict(), sort_keys=True
-    )
-
-
-def test_shimmed_and_direct_harness_calls_agree():
-    """api.run_scenario(schedule, ...) is a pure pass-through."""
-    schedule = named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0)
-    kwargs = dict(
+    direct = harness_run_scenario(
+        schedule,
         variant="mdcc",
         num_clients=4,
         num_items=60,
@@ -147,24 +141,7 @@ def test_shimmed_and_direct_harness_calls_agree():
         measure_ms=6_000.0,
         seed=3,
     )
-    with pytest.warns(DeprecationWarning):
-        shimmed = run_scenario(
-            named_schedule("dc-outage", start_ms=1_000.0, duration_ms=6_000.0),
-            **kwargs,
-        )
-    direct = legacy_run_scenario(schedule, **kwargs)
-    assert shimmed.as_dict() == direct.as_dict()
-
-
-def test_legacy_build_cluster_warns_and_matches_spec():
-    with pytest.warns(DeprecationWarning, match="ClusterSpec"):
-        legacy = build_cluster("fast", seed=11, partitions_per_table=1)
-    via_spec = build_cluster(
-        ClusterSpec(protocol="fast", seed=11, partitions_per_table=1)
-    )
-    assert legacy.protocol == via_spec.protocol == "fast"
-    assert sorted(legacy.storage_nodes) == sorted(via_spec.storage_nodes)
-    assert legacy.config == via_spec.config
+    assert via_spec.as_dict() == direct.as_dict()
 
 
 def test_spec_entry_points_reject_stray_kwargs():

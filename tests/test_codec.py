@@ -122,6 +122,44 @@ SAMPLES = {
     "ProposeFast": messages.ProposeFast(
         option=COMMUTATIVE, reply_to="app-us-west-1", epoch=3
     ),
+    # Replicated Commit: write-sets nest every Update kind inside the
+    # Tuple[Tuple[RecordId, Update], ...] shape — the worst case for
+    # tuple-ness preservation.
+    "RcApply": messages.RcApply(
+        txid="tx-20",
+        record=RECORD,
+        update=PhysicalUpdate(vread=3, new_value=None, is_delete=True),
+        commit=False,
+    ),
+    "RcCommitRequest": messages.RcCommitRequest(
+        txid="tx-20",
+        updates=(
+            (RECORD, PhysicalUpdate(vread=9, new_value={"stock": 11})),
+            (
+                RecordId("items", "item:000007"),
+                CommutativeUpdate(deltas=(("stock", -3.0),)),
+            ),
+            (RecordId("orders", "o-77"), ReadValidation(vread=4)),
+        ),
+        reply_to="app-us-west-1",
+    ),
+    "RcDecision": messages.RcDecision(
+        txid="tx-20",
+        commit=True,
+        updates=((RECORD, ReadValidation(vread=4)),),
+    ),
+    "RcPrepare": messages.RcPrepare(
+        txid="tx-20",
+        record=RECORD,
+        update=CommutativeUpdate(deltas=(("stock", -3.0), ("reserved", 1.5))),
+        reply_to="store-us-west-p0",
+    ),
+    "RcPrepareReply": messages.RcPrepareReply(
+        txid="tx-20", record=RECORD, vote=False, reason="lock-conflict"
+    ),
+    "RcVote": messages.RcVote(
+        txid="tx-20", dc="eu-west", accept=True, voter="store-eu-west-p0"
+    ),
     "ReadReply": messages.ReadReply(
         request_id=41,
         table="items",
@@ -234,6 +272,33 @@ def test_registry_covers_every_message_type():
         f"missing {sorted(expected - registered)}, "
         f"stale {sorted(registered - expected)}"
     )
+
+
+def test_tripwire_fires_without_rc_codec_entries(monkeypatch):
+    """Re-enact the hazard the completeness check guards against: had
+    the six Rc* messages landed without codec entries, encoding them
+    raises loudly and the registry diff names every missing type."""
+    stripped = tuple(
+        cls for cls in codec.MESSAGE_TYPES if not cls.__name__.startswith("Rc")
+    )
+    monkeypatch.setattr(codec, "MESSAGE_TYPES", stripped)
+    monkeypatch.setattr(
+        codec,
+        "_REGISTRY",
+        {cls.__name__: cls for cls in (*stripped, *codec.VALUE_TYPES)},
+    )
+    with pytest.raises(CodecError, match="RcVote has no codec entry"):
+        codec.encode(SAMPLES["RcVote"])
+    expected = {cls.__name__ for cls in _message_classes()}
+    registered = {cls.__name__ for cls in codec.MESSAGE_TYPES}
+    assert expected - registered == {
+        "RcApply",
+        "RcCommitRequest",
+        "RcDecision",
+        "RcPrepare",
+        "RcPrepareReply",
+        "RcVote",
+    }
 
 
 def test_every_message_type_has_a_sample():

@@ -3,13 +3,9 @@
 Covers the corners the main suite skips: percentile at the fraction
 boundaries and two-element interpolation, bucket end-boundary exclusion,
 ``fraction_below`` with duplicate samples, ``CounterSet.as_dict``
-ordering, the timestamp contract of ``add``/``extend`` (``None`` must
-not collapse onto ``t=0.0``), and the ``repro.sim.monitor``
-deprecation shim.
+ordering, and the timestamp contract of ``add``/``extend`` (``None``
+must not collapse onto ``t=0.0``).
 """
-
-import importlib
-import sys
 
 import pytest
 
@@ -111,17 +107,3 @@ class TestTimestampContract:
         rec = LatencyRecorder()
         rec.extend((float(v) for v in (1, 2)), timestamps=iter([5.0, 6.0]))
         assert rec.timestamped == [(5.0, 1.0), (6.0, 2.0)]
-
-
-class TestMonitorShimDeprecation:
-    def test_import_warns(self):
-        sys.modules.pop("repro.sim.monitor", None)
-        with pytest.warns(DeprecationWarning, match="repro.sim.monitor is deprecated"):
-            importlib.import_module("repro.sim.monitor")
-
-    def test_shim_still_reexports(self):
-        with pytest.warns(DeprecationWarning):
-            sys.modules.pop("repro.sim.monitor", None)
-            monitor = importlib.import_module("repro.sim.monitor")
-        assert monitor.LatencyRecorder is LatencyRecorder
-        assert monitor.CounterSet is CounterSet

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.core.options import RecordId
 from repro.db.cluster import build_cluster
+from repro.protocols.base import get_protocol
 from repro.storage.schema import Constraint, TableSchema
 
 ITEMS = TableSchema("items", constraints={"stock": Constraint(minimum=0)})
@@ -297,3 +299,109 @@ class TestMegastore:
     def test_multiple_partitions_rejected(self):
         with pytest.raises(ValueError, match="entity group"):
             build_cluster("megastore", partitions_per_table=2)
+
+
+class TestAbortPathsThroughProtocolInterface:
+    """Conflict/abort paths for every baseline, driven through the
+    :class:`~repro.protocols.base.Protocol` descriptors: the roles come
+    from the registry factories and the observed behavior must match the
+    descriptor's declared abort vocabulary."""
+
+    def test_twopc_aborted_participant_releases_its_lock(self):
+        """An aborted 2PC participant (prepare lost to a conflict) must
+        release on the abort decision — the loser's lock cannot outlive
+        the round."""
+        descriptor = get_protocol("2pc")
+        assert "lock-conflict" in descriptor.abort_reasons
+        cluster = make_cluster("2pc", seed=31)
+        cluster.load_record("items", "hot", {"stock": 10})
+        c1 = cluster.add_client("us-west")
+        c2 = cluster.add_client("us-east")
+        t1, t2 = cluster.begin(c1), cluster.begin(c2)
+        run_tx(cluster, t1.read("items", "hot"))
+        run_tx(cluster, t2.read("items", "hot"))
+        t1.write("items", "hot", {"stock": 9})
+        t2.write("items", "hot", {"stock": 8})
+        f1, f2 = t1.commit(), t2.commit()
+        o1, o2 = run_tx(cluster, f1), run_tx(cluster, f2)
+        # Racing all-replica prepares conflict: at least one aborts (both
+        # may — each can win a subset of replicas and concede).
+        assert not (o1.committed and o2.committed)
+        drain(cluster, 30_000)
+        # The abort released every participant lock: a fresh transaction
+        # on the same record commits without waiting anything out.
+        t3 = cluster.begin(c1)
+        run_tx(cluster, t3.read("items", "hot"))
+        t3.write("items", "hot", {"stock": 7})
+        assert run_tx(cluster, t3.commit()).committed
+        for node in cluster.storage_nodes.values():
+            assert not node._locks
+
+    def test_quorum_write_divergence_is_real_and_unflagged(self):
+        """QW declares NO abort vocabulary — and indeed commits through a
+        partition, leaving the cut-off replica divergent (the guarantee
+        gap the paper's §5.2 comparison rests on)."""
+        descriptor = get_protocol("qw3")
+        assert descriptor.abort_reasons == ()
+        cluster = make_cluster("qw3", seed=32)
+        cluster.load_record("items", "i", {"stock": 10})
+        cluster.fail_datacenter("ap-southeast")
+        client = cluster.add_client("us-west")
+        tx = cluster.begin(client)
+        run_tx(cluster, tx.read("items", "i"))
+        tx.write("items", "i", {"stock": 9})
+        assert run_tx(cluster, tx.commit()).committed  # W=3 of 4 alive
+        drain(cluster, 30_000)
+        snapshots = cluster.committed_snapshots("items", "i")
+        versions = {node: snap.version for node, snap in snapshots.items()}
+        behind = cluster.placement.replica_in(RecordId("items", "i"), "ap-southeast")
+        assert versions[behind] == 1  # diverged silently
+        assert all(v == 2 for node, v in versions.items() if node != behind)
+
+    def test_megastore_log_position_conflict_aborts_exactly_one(self):
+        descriptor = get_protocol("megastore")
+        assert descriptor.abort_reasons == ("log-position-conflict",)
+        cluster = make_cluster("megastore", seed=33)
+        cluster.load_record("items", "hot", {"stock": 10})
+        c1 = cluster.add_client("us-west")
+        c2 = cluster.add_client("us-west")
+        t1, t2 = cluster.begin(c1), cluster.begin(c2)
+        run_tx(cluster, t1.read("items", "hot"))
+        run_tx(cluster, t2.read("items", "hot"))
+        t1.write("items", "hot", {"stock": 9})
+        t2.write("items", "hot", {"stock": 8})
+        f1, f2 = t1.commit(), t2.commit()
+        o1, o2 = run_tx(cluster, f1), run_tx(cluster, f2)
+        # Both contend for the same log position: the master serializes,
+        # exactly one wins it.
+        assert o1.committed != o2.committed
+        drain(cluster, 30_000)
+        values = {
+            snap.value["stock"]
+            for snap in cluster.committed_snapshots("items", "hot").values()
+        }
+        assert len(values) == 1
+
+    def test_repcommit_minority_dc_partition_aborts(self):
+        """Replicated Commit's declared minority/vote-timeout aborts: a
+        proposer cut off from a majority of DCs gives up instead of
+        blocking, and the healed cluster is immediately writable."""
+        descriptor = get_protocol("repcommit")
+        assert "minority" in descriptor.abort_reasons
+        assert "vote-timeout" in descriptor.abort_reasons
+        cluster = make_cluster("repcommit", seed=34)
+        cluster.load_record("items", "i", {"stock": 10})
+        client = cluster.add_client("us-west")
+        tx = cluster.begin(client)
+        run_tx(cluster, tx.read("items", "i"))
+        for dc in ("us-east", "eu-west", "ap-northeast"):
+            cluster.fail_datacenter(dc)
+        tx.write("items", "i", {"stock": 9})
+        assert not run_tx(cluster, tx.commit(), limit_ms=600_000).committed
+        for dc in ("us-east", "eu-west", "ap-northeast"):
+            cluster.recover_datacenter(dc)
+        drain(cluster, 30_000)
+        tx2 = cluster.begin(client)
+        run_tx(cluster, tx2.read("items", "i"))
+        tx2.write("items", "i", {"stock": 8})
+        assert run_tx(cluster, tx2.commit()).committed

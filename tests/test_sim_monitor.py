@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.monitor import (
+from repro.metrics import (
     CounterSet,
     LatencyRecorder,
     TimeSeries,
