@@ -1,0 +1,62 @@
+"""Protocol-aware static analysis: determinism & wire-hygiene checks.
+
+Every figure, chaos cell and trace artifact in this repo is gated on
+bit-for-bit deterministic simulated runs, and the TCP backend is gated
+on a complete, explicit wire codec.  The invariants that keep those
+gates honest — no hash-salted set iteration feeding the shared RNG, no
+wall clock where the simulated clock rules, codec completeness,
+``__slots__`` messages, sim-free role code, exhaustive message handlers
+— used to live in scattered one-off tests.  This package makes them one
+first-class subsystem: an AST rule engine (:mod:`repro.analysis.engine`)
+with per-file and cross-file passes, inline ``# repro: noqa
+RULE-ID(reason)`` suppressions and a committed baseline file so the rule
+set can ratchet, surfaced as ``repro analyze``.
+
+Rules
+-----
+
+``DET-set-iter``
+    Order-sensitive iteration over a ``set``/``frozenset`` (the exact
+    defect class behind the PR 3 chaos nondeterminism: hash-salted set
+    walks silently reordering draws from the shared RNG).
+``DET-wallclock``
+    Wall-clock/entropy primitives (``time.time``, ``datetime.now``,
+    ``uuid.uuid4``, module-level ``random.*``, ...) anywhere the
+    simulated clock rules.
+``WIRE-codec``
+    Every message dataclass reachable from a ``send``/``broadcast``
+    must be frozen, ``__slots__``, and registered in
+    ``repro.transport.codec``.
+``ISO-sim-free``
+    Transport-neutral packages must not import ``repro.sim`` (the
+    generalized ``tests/test_transport_isolation.py`` walk, with
+    per-package allowlists).
+``HANDLER-exhaustive``
+    Every sent message type has a ``handle_<snake_case>`` method on some
+    role class, and no handler is dead.
+``NOQA-malformed``
+    A ``# repro: noqa`` comment that does not parse (suppressions
+    require a rule id and a reason).
+"""
+
+from repro.analysis.engine import (
+    Baseline,
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    analyze_project,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze_project",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,106 @@
+"""``repro analyze`` — the CLI surface of the static analyzer.
+
+Exit status: 0 when there are no *new* findings and no stale baseline
+entries; 1 otherwise.  Grandfathered (baselined) findings are reported
+but do not fail — they can only be removed, never added, so the rule
+set ratchets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.engine import (
+    PACKAGE_DIR,
+    Baseline,
+    Project,
+    analyze_project,
+    render_json,
+    render_text,
+)
+
+__all__ = ["add_analyze_parser", "discover_root", "run_analyze"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def discover_root(start: Optional[Path] = None) -> Path:
+    """Walk up from ``start`` (default: cwd) to the directory containing
+    ``src/repro`` — the repository root the analyzer scans."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / PACKAGE_DIR).is_dir():
+            return candidate
+    raise SystemExit(
+        f"repro analyze: no {PACKAGE_DIR}/ found in {here} or any parent — "
+        "run from inside the repository or pass --root"
+    )
+
+
+def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the determinism & wire-hygiene static analyzer",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is deterministic and sorted)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: <root>/{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the current findings into the baseline file and exit 0",
+    )
+    analyze.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root (default: discovered from the cwd upward)",
+    )
+
+
+def run_analyze(args: argparse.Namespace) -> int:
+    root = Path(args.root).resolve() if args.root else discover_root()
+    project = Project(root)
+    findings = analyze_project(project)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        baseline_path.write_text(
+            Baseline.from_findings(project, findings).render(), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+    elif args.baseline:
+        raise SystemExit(f"repro analyze: baseline {baseline_path} not found")
+    else:
+        baseline = Baseline()
+    new, grandfathered, stale = baseline.apply(project, findings)
+
+    if args.format == "json":
+        sys.stdout.write(render_json(project, new, grandfathered, stale))
+    else:
+        sys.stdout.write(render_text(new, grandfathered, stale))
+    return 1 if (new or stale) else 0

@@ -1,0 +1,402 @@
+"""The rule engine: descriptors, findings, suppressions, baseline ratchet.
+
+A :class:`Project` parses every source file under ``<root>/src/repro``
+once; each :class:`Rule` carries a project-level ``check`` pass (per-file
+rules simply loop over ``project.files``, cross-file rules correlate
+several modules).  Findings are value objects with a stable sort order so
+text and JSON output are deterministic.
+
+Suppression syntax (inline, reason mandatory)::
+
+    for node in self.peers:  # repro: noqa DET-set-iter(peers is a 1-elem set)
+
+Baseline ratchet semantics (``--baseline FILE``):
+
+* a finding matching a baseline entry is *grandfathered* — reported but
+  not failing;
+* a finding with no baseline entry is *new* — exit 1;
+* a baseline entry matching no current finding is *stale* — exit 1 until
+  it is removed from the file (fixed findings must leave the baseline,
+  so the rule set only ever ratchets down).
+
+Fingerprints hash the rule id, file path and the stripped source line
+text (plus an occurrence counter for identical lines), so ordinary line
+drift above or below a grandfathered finding does not invalidate it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "analyze_project",
+    "render_json",
+    "render_text",
+]
+
+#: the sub-tree a Project scans, relative to the repository root.
+PACKAGE_DIR = "src/repro"
+
+_NOQA_MARKER = re.compile(r"#\s*repro:\s*noqa\b")
+_NOQA_ENTRY = re.compile(r"([A-Z][A-Z0-9]*(?:-[a-z0-9-]+)+)\s*\(([^()]+)\)")
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A static-analysis rule descriptor.
+
+    ``check`` runs once per analysis over the whole project — per-file
+    rules iterate ``project.files`` themselves, cross-file rules build
+    whatever index they need.
+    """
+
+    id: str
+    severity: str  # "error" — reserved for future "warning" tiers
+    summary: str
+    autofix_hint: str
+    check: Callable[["Project"], Iterable["Finding"]] = field(compare=False)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class SourceFile:
+    """A parsed source file plus its suppression table."""
+
+    __slots__ = ("path", "source", "lines", "tree", "suppressions", "malformed_noqa")
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: line number -> rule ids suppressed on that line.
+        self.suppressions: Dict[int, set] = {}
+        #: lines whose suppression marker failed to parse.
+        self.malformed_noqa: List[int] = []
+        for lineno, comment in self._comments():
+            marker = _NOQA_MARKER.search(comment)
+            if not marker:
+                continue
+            entries = _NOQA_ENTRY.findall(comment[marker.end():])
+            if not entries:
+                self.malformed_noqa.append(lineno)
+                continue
+            self.suppressions[lineno] = {rule_id for rule_id, _reason in entries}
+
+    def _comments(self) -> List[Tuple[int, str]]:
+        """(line, text) per comment token — a docstring that *mentions*
+        the noqa syntax is not a suppression."""
+        out: List[Tuple[int, str]] = []
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(self.source).readline):
+                if token.type == tokenize.COMMENT:
+                    out.append((token.start[0], token.string))
+        except tokenize.TokenError:  # pragma: no cover - tree already parsed
+            pass
+        return out
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        return rule_id in self.suppressions.get(lineno, ())
+
+
+class Project:
+    """Every parsed source file under ``<root>/src/repro``."""
+
+    def __init__(self, root: Path, files: Optional[Sequence[SourceFile]] = None) -> None:
+        self.root = Path(root)
+        if files is not None:
+            self.files = sorted(files, key=lambda f: f.path)
+            return
+        package = self.root / PACKAGE_DIR
+        if not package.is_dir():
+            raise FileNotFoundError(
+                f"{package} does not exist — pass the repository root "
+                f"(the directory containing {PACKAGE_DIR}/)"
+            )
+        self.files = []
+        for path in sorted(package.rglob("*.py")):
+            rel = path.relative_to(self.root).as_posix()
+            self.files.append(SourceFile(rel, path.read_text(encoding="utf-8")))
+
+    def get(self, rel_path: str) -> Optional[SourceFile]:
+        for file in self.files:
+            if file.path == rel_path:
+                return file
+        return None
+
+    def in_scope(
+        self,
+        include: Tuple[str, ...] = (),
+        exclude: Tuple[str, ...] = (),
+    ) -> List[SourceFile]:
+        """Files matching the prefix lists (empty ``include`` = all)."""
+        out = []
+        for file in self.files:
+            if include and not any(file.path.startswith(p) for p in include):
+                continue
+            if any(file.path.startswith(p) for p in exclude):
+                continue
+            out.append(file)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, id-sorted (import deferred: the rule
+    modules import this one for the descriptors)."""
+    from repro.analysis import rules_determinism, rules_handlers, rules_isolation, rules_wire
+
+    rules = (
+        rules_determinism.DET_SET_ITER,
+        rules_determinism.DET_WALLCLOCK,
+        rules_wire.WIRE_CODEC,
+        rules_isolation.ISO_SIM_FREE,
+        rules_handlers.HANDLER_EXHAUSTIVE,
+        NOQA_MALFORMED,
+    )
+    return tuple(sorted(rules, key=lambda r: r.id))
+
+
+def _check_noqa(project: Project) -> Iterable[Finding]:
+    for file in project.files:
+        for lineno in file.malformed_noqa:
+            yield Finding(
+                path=file.path,
+                line=lineno,
+                col=1,
+                rule="NOQA-malformed",
+                message=(
+                    "unparseable suppression — the syntax is "
+                    "'# repro: noqa RULE-ID(reason)' and the reason is mandatory"
+                ),
+            )
+
+
+NOQA_MALFORMED = Rule(
+    id="NOQA-malformed",
+    severity="error",
+    summary="a '# repro: noqa' comment that does not parse",
+    autofix_hint="write '# repro: noqa RULE-ID(reason)' with a non-empty reason",
+    check=_check_noqa,
+)
+
+
+def analyze_project(
+    project: Project, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Run ``rules`` (default: all) and return sorted, unsuppressed
+    findings.  NOQA-malformed findings are never suppressible."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    by_path = {file.path: file for file in project.files}
+    for rule in rules:
+        for finding in rule.check(project):
+            file = by_path.get(finding.path)
+            if (
+                file is not None
+                and finding.rule != "NOQA-malformed"
+                and file.suppressed(finding.line, finding.rule)
+            ):
+                continue
+            findings.append(finding)
+    return sorted(set(findings))
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+def _fingerprints(project: Project, findings: Sequence[Finding]) -> List[str]:
+    """A stable fingerprint per finding: rule + path + stripped source
+    line text + an occurrence counter for identical lines — robust to
+    line drift elsewhere in the file."""
+    by_path = {file.path: file for file in project.files}
+    counts: Dict[str, int] = {}
+    out = []
+    for finding in findings:
+        file = by_path.get(finding.path)
+        text = file.line_text(finding.line).strip() if file is not None else ""
+        key = f"{finding.rule}|{finding.path}|{text}"
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        digest = hashlib.sha256(f"{key}|{index}".encode("utf-8")).hexdigest()[:16]
+        out.append(digest)
+    return out
+
+
+class Baseline:
+    """Grandfathered findings, committed alongside the code."""
+
+    VERSION = 1
+
+    def __init__(self, entries: Optional[Dict[str, Dict[str, object]]] = None) -> None:
+        #: fingerprint -> descriptive entry (rule/path/message snapshot).
+        self.entries = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}, "
+                f"expected {cls.VERSION}"
+            )
+        return cls({entry["fingerprint"]: entry for entry in data.get("findings", [])})
+
+    @classmethod
+    def from_findings(cls, project: Project, findings: Sequence[Finding]) -> "Baseline":
+        entries = {}
+        for finding, fingerprint in zip(findings, _fingerprints(project, findings)):
+            entries[fingerprint] = {
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+        return cls(entries)
+
+    def render(self) -> str:
+        payload = {
+            "version": self.VERSION,
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+            ),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def apply(
+        self, project: Project, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Split findings into (new, grandfathered) and report stale
+        baseline entries that no longer match anything."""
+        fingerprints = _fingerprints(project, findings)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        seen = set()
+        for finding, fingerprint in zip(findings, fingerprints):
+            if fingerprint in self.entries:
+                grandfathered.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in seen
+        ]
+        stale.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+        return new, grandfathered, stale
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_text(
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+    stale: Sequence[Dict[str, object]] = (),
+) -> str:
+    hints = {rule.id: rule.autofix_hint for rule in all_rules()}
+    lines = []
+    for finding in findings:
+        lines.append(f"{finding.location()}: {finding.rule}: {finding.message}")
+        hint = hints.get(finding.rule)
+        if hint:
+            lines.append(f"    hint: {hint}")
+    for finding in grandfathered:
+        lines.append(
+            f"{finding.location()}: {finding.rule}: {finding.message} [baseline]"
+        )
+    for entry in stale:
+        lines.append(
+            f"{entry['path']}: {entry['rule']}: baseline entry "
+            f"{entry['fingerprint']} matches no current finding — remove it "
+            "from the baseline file"
+        )
+    summary = (
+        f"{len(findings)} new finding(s), {len(grandfathered)} grandfathered, "
+        f"{len(stale)} stale baseline entr(y/ies)"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    project: Project,
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+    stale: Sequence[Dict[str, object]] = (),
+) -> str:
+    def finding_dict(finding: Finding, fingerprint: str) -> Dict[str, object]:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "fingerprint": fingerprint,
+        }
+
+    payload = {
+        "version": 1,
+        "rules": [
+            {
+                "id": rule.id,
+                "severity": rule.severity,
+                "summary": rule.summary,
+                "autofix_hint": rule.autofix_hint,
+            }
+            for rule in all_rules()
+        ],
+        "findings": [
+            finding_dict(f, fp)
+            for f, fp in zip(findings, _fingerprints(project, findings))
+        ],
+        "grandfathered": [
+            finding_dict(f, fp)
+            for f, fp in zip(grandfathered, _fingerprints(project, grandfathered))
+        ],
+        "stale_baseline": list(stale),
+        "summary": {
+            "new": len(findings),
+            "grandfathered": len(grandfathered),
+            "stale_baseline": len(stale),
+            "files_scanned": len(project.files),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,114 @@
+"""HANDLER-exhaustive: the send side and the dispatch side agree.
+
+:class:`repro.transport.base.Node` dispatches a delivered message to
+``handle_<snake_case(type name)>`` — an unmatched message raises at
+delivery time, but only on the trajectory that happens to send it.  This
+rule closes the gap statically, in both directions:
+
+* a message dataclass passed to ``send``/``broadcast`` with no
+  ``handle_<snake>`` method anywhere is an undeliverable message
+  (flagged at the class definition);
+* a ``handle_<snake>`` method whose message type does not exist, or is
+  never constructed anywhere in the tree, is a dead handler (flagged at
+  the method definition).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis import astutil
+from repro.analysis.engine import Finding, Project, Rule
+from repro.transport.base import _snake_case
+
+__all__ = ["HANDLER_EXHAUSTIVE"]
+
+
+def _handler_defs(project: Project) -> List[Tuple[str, str, int]]:
+    """(snake_name, path, line) for every ``handle_*`` method."""
+    out: List[Tuple[str, str, int]] = []
+    for file in project.files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and item.name.startswith("handle_"):
+                        out.append(
+                            (item.name[len("handle_"):], file.path, item.lineno)
+                        )
+    return out
+
+
+def _check_handlers(project: Project) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    dataclasses = astutil.iter_dataclasses(project.files)
+    by_snake: Dict[str, str] = {
+        _snake_case(name): name for name in dataclasses
+    }
+    sent = astutil.sent_class_names(project)
+    constructed = astutil.constructed_class_names(project)
+    handlers = _handler_defs(project)
+    handled_snakes = {snake for snake, _path, _line in handlers}
+
+    for name in sorted(sent):
+        info = dataclasses.get(name)
+        if info is None:
+            continue  # non-dataclass send payloads are WIRE-codec's business
+        if _snake_case(name) not in handled_snakes:
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=info.line,
+                    col=1,
+                    rule="HANDLER-exhaustive",
+                    message=(
+                        f"{name} is sent but no class defines "
+                        f"handle_{_snake_case(name)} — delivery would raise "
+                        "at runtime"
+                    ),
+                )
+            )
+
+    for snake, path, line in handlers:
+        name = by_snake.get(snake)
+        if name is None:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=1,
+                    rule="HANDLER-exhaustive",
+                    message=(
+                        f"handle_{snake} matches no message dataclass in the "
+                        "tree — dead handler"
+                    ),
+                )
+            )
+        elif name not in constructed:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=1,
+                    rule="HANDLER-exhaustive",
+                    message=(
+                        f"handle_{snake} targets {name}, which is never "
+                        "constructed anywhere — dead handler"
+                    ),
+                )
+            )
+    return findings
+
+
+HANDLER_EXHAUSTIVE = Rule(
+    id="HANDLER-exhaustive",
+    severity="error",
+    summary="sent message without a handler, or a dead handler",
+    autofix_hint=(
+        "add handle_<snake_case> on the receiving role class, or delete the "
+        "handler and its message type together"
+    ),
+    check=_check_handlers,
+)

@@ -1,0 +1,151 @@
+"""WIRE-codec: every message that can cross the wire is codec-clean.
+
+Cross-file pass.  The codec registry in ``repro.transport.codec`` is
+explicit by design — a message type the TCP backend has never heard of
+must fail at registration diff time, not as a mid-benchmark encode
+error.  This rule is the static half of that contract:
+
+* every dataclass in ``core/messages.py`` or ``protocols/*.py`` that is
+  *reachable from the wire* (passed to a ``send``/``broadcast`` call, or
+  matched by a ``handle_<snake>`` method) must be ``frozen=True``,
+  carry ``__slots__`` (``slots=True``), and appear in
+  ``MESSAGE_TYPES``/``VALUE_TYPES``;
+* every name in the registry must correspond to a dataclass that still
+  exists (stale entries flagged at their registry line).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from repro.analysis import astutil
+from repro.analysis.engine import Finding, Project, Rule
+from repro.transport.base import _snake_case
+
+__all__ = ["WIRE_CODEC"]
+
+CODEC_PATH = "src/repro/transport/codec.py"
+_REGISTRY_NAMES = ("MESSAGE_TYPES", "VALUE_TYPES")
+
+#: where wire-visible message dataclasses live.
+_MESSAGE_SCOPE = ("src/repro/core/messages.py", "src/repro/protocols/")
+
+
+def _registered_entries(project: Project) -> Dict[str, int]:
+    """Class name -> line number of its MESSAGE_TYPES/VALUE_TYPES entry."""
+    codec = project.get(CODEC_PATH)
+    entries: Dict[str, int] = {}
+    if codec is None:
+        return entries
+    for node in ast.walk(codec.tree):
+        targets, value, _ann = (
+            (node.targets, node.value, None)
+            if isinstance(node, ast.Assign)
+            else ((node.target,), node.value, node.annotation)
+            if isinstance(node, ast.AnnAssign)
+            else ((), None, None)
+        )
+        if value is None or not isinstance(value, ast.Tuple):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id in _REGISTRY_NAMES for t in targets
+        ):
+            continue
+        for elt in value.elts:
+            dotted = astutil.dotted_name(elt)
+            if dotted is not None:
+                entries[dotted.rsplit(".", 1)[-1]] = elt.lineno
+    return entries
+
+
+def _handler_snake_names(project: Project) -> Iterable[str]:
+    for file in project.files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("handle_"):
+                    yield node.name[len("handle_"):]
+
+
+def _check_wire(project: Project) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    registered = _registered_entries(project)
+    message_files = project.in_scope(include=_MESSAGE_SCOPE)
+    message_classes = astutil.iter_dataclasses(message_files)
+    all_classes = astutil.iter_dataclasses(project.files)
+    sent = astutil.sent_class_names(project)
+    handled_snakes = set(_handler_snake_names(project))
+
+    for name in sorted(message_classes):
+        info = message_classes[name]
+        if name.startswith("_"):
+            continue
+        reachable = name in sent or _snake_case(name) in handled_snakes
+        if not reachable:
+            continue
+        missing: List[str] = []
+        if not info.frozen:
+            missing.append("not frozen (frozen=True)")
+        if not info.slots:
+            missing.append("no __slots__ (slots=True)")
+        if name not in registered:
+            missing.append(
+                "not registered in repro.transport.codec "
+                "(MESSAGE_TYPES/VALUE_TYPES)"
+            )
+        if missing:
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=info.line,
+                    col=1,
+                    rule="WIRE-codec",
+                    message=(
+                        f"message dataclass {name} is wire-reachable but "
+                        + "; ".join(missing)
+                    ),
+                )
+            )
+
+    for name, lineno in sorted(registered.items()):
+        info = all_classes.get(name)
+        if info is None:
+            findings.append(
+                Finding(
+                    path=CODEC_PATH,
+                    line=lineno,
+                    col=1,
+                    rule="WIRE-codec",
+                    message=(
+                        f"registry entry {name} matches no dataclass in the "
+                        "tree — remove the stale codec entry"
+                    ),
+                )
+            )
+        elif not (info.frozen and info.slots):
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=info.line,
+                    col=1,
+                    rule="WIRE-codec",
+                    message=(
+                        f"codec-registered dataclass {name} must be "
+                        "frozen=True with __slots__"
+                    ),
+                )
+            )
+    return findings
+
+
+WIRE_CODEC = Rule(
+    id="WIRE-codec",
+    severity="error",
+    summary="wire-reachable message without frozen/__slots__/codec entry",
+    autofix_hint=(
+        "declare @dataclass(frozen=True, slots=True) and add the class to "
+        "MESSAGE_TYPES in repro/transport/codec.py (plus a worst-case "
+        "sample in tests/test_codec.py)"
+    ),
+    check=_check_wire,
+)

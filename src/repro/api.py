@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, fields
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.bench.harness import (
     ExperimentResult,
@@ -296,7 +296,7 @@ class ScenarioSpec:
         return cls.from_dict(data)
 
 
-def _checked_fields(cls, data: Dict[str, object]) -> Dict[str, object]:
+def _checked_fields(cls: Any, data: Dict[str, object]) -> Dict[str, Any]:
     """Reject unknown keys loudly — a typo'd spec must not half-apply."""
     known = {spec_field.name for spec_field in fields(cls)}
     unknown = sorted(set(data) - known)
@@ -313,7 +313,7 @@ def _checked_fields(cls, data: Dict[str, object]) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Canonical entry points
 # ----------------------------------------------------------------------
-def build_cluster(spec: ClusterSpec = ClusterSpec(), **unexpected) -> Cluster:
+def build_cluster(spec: ClusterSpec = ClusterSpec(), **unexpected: object) -> Cluster:
     """Build the deployment a :class:`ClusterSpec` describes.
 
     Knobs without spec fields (``table_master_dc``, ``migration_policy``,
@@ -331,7 +331,7 @@ def build_cluster(spec: ClusterSpec = ClusterSpec(), **unexpected) -> Cluster:
             "a ClusterSpec is self-contained; unexpected keyword(s): "
             + ", ".join(sorted(unexpected))
         )
-    kwargs = dict(
+    kwargs: Dict[str, Any] = dict(
         partitions_per_table=spec.effective_partitions,
         master_policy=spec.master_policy or "hash",
         seed=spec.seed,
@@ -344,7 +344,7 @@ def build_cluster(spec: ClusterSpec = ClusterSpec(), **unexpected) -> Cluster:
 
 
 def run_scenario(
-    spec: ScenarioSpec, **unexpected
+    spec: ScenarioSpec, **unexpected: object
 ) -> Union[ExperimentResult, ScenarioResult]:
     """Run the experiment a :class:`ScenarioSpec` describes.
 
@@ -376,7 +376,7 @@ def _run_experiment(spec: ScenarioSpec) -> ExperimentResult:
         )
     if cluster.elastic:
         raise ValueError("elastic clusters require a fault schedule scenario")
-    kwargs = dict(
+    kwargs: Dict[str, Any] = dict(
         num_clients=spec.clients,
         num_items=spec.items,
         warmup_ms=spec.warmup_s * 1_000.0,
@@ -393,7 +393,7 @@ def _run_experiment(spec: ScenarioSpec) -> ExperimentResult:
         return run_geoshift(
             cluster.protocol, phase_ms=spec.phase_s * 1_000.0, **kwargs
         )
-    fail_dc_at = None
+    fail_dc_at: Optional[Tuple[str, float]] = None
     if spec.fail_dc is not None:
         at_s = spec.fail_at_s if spec.fail_at_s is not None else spec.measure_s / 2
         fail_dc_at = (spec.fail_dc, (spec.warmup_s + at_s) * 1_000.0)
@@ -407,8 +407,9 @@ def _run_experiment(spec: ScenarioSpec) -> ExperimentResult:
 
 
 def _run_scheduled(spec: ScenarioSpec) -> ScenarioResult:
+    assert spec.schedule is not None  # run_scenario routes on this
     cluster = spec.cluster
-    schedule_kwargs: Dict[str, object] = dict(
+    schedule_kwargs: Dict[str, Any] = dict(
         start_ms=spec.warmup_s * 1_000.0,
         duration_ms=spec.measure_s * 1_000.0,
     )
@@ -417,7 +418,7 @@ def _run_scheduled(spec: ScenarioSpec) -> ScenarioResult:
         if value is not None:
             schedule_kwargs[name] = value
     schedule = named_schedule(spec.schedule, **schedule_kwargs)
-    run_kwargs: Dict[str, object] = dict(
+    run_kwargs: Dict[str, Any] = dict(
         workload=spec.workload,
         variant=cluster.protocol,
         num_clients=spec.clients,

@@ -398,6 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos schedules",
     )
     lister.add_argument("--json", action="store_true")
+
+    from repro.analysis.cli import add_analyze_parser
+
+    add_analyze_parser(sub)
     return parser
 
 
@@ -833,6 +837,10 @@ def _run_tcp(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        from repro.analysis.cli import run_analyze
+
+        return run_analyze(args)
     if args.command == "list":
         return _run_list(args.json)
     if args.command == "chaos":

@@ -641,7 +641,7 @@ class MasterRole:
                             version=snapshot.version,
                             value=snapshot.value,
                             exists=snapshot.exists,
-                            applied_ids=tuple(state.record.applied_ids),
+                            applied_ids=tuple(sorted(state.record.applied_ids)),
                         ),
                     )
             ms.retries += 1

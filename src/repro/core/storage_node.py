@@ -295,7 +295,7 @@ class MDCCStorageNode(Node):
                 cstruct=state.cstruct if len(state.cstruct) else None,
                 committed_version=snapshot.version,
                 committed_value=snapshot.value,
-                applied_ids=tuple(state.record.applied_ids),
+                applied_ids=tuple(sorted(state.record.applied_ids)),
                 epoch=self._epoch(),
             ),
         )
@@ -412,7 +412,7 @@ class MDCCStorageNode(Node):
                 exists=snapshot.exists,
                 value=snapshot.value,
                 version=snapshot.version,
-                applied_ids=tuple(state.record.applied_ids),
+                applied_ids=tuple(sorted(state.record.applied_ids)),
                 pending=tuple(state.pending_options()),
             ),
         )

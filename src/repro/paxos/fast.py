@@ -106,7 +106,7 @@ def select_recovery_value(
         keys = {_value_key(v) for v in values}
         if len(keys) != 1:
             continue
-        key = next(iter(keys))
+        key = _value_key(values[0])  # == the sole element of ``keys``
         size = len(intersection)
         if key not in candidates or candidates[key][0] < size:
             candidates[key] = (size, values[0])

@@ -24,9 +24,14 @@ descriptor here; no other layer grows an ``if protocol ==`` branch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.core.config import MDCCConfig, ProtocolVariant
+
+if TYPE_CHECKING:  # typing only: the registry must stay import-cheap
+    from repro.core.topology import ReplicaMap
+    from repro.metrics import CounterSet
+    from repro.transport.base import Transport
 
 __all__ = [
     "PROTOCOLS",
@@ -108,18 +113,36 @@ class Protocol:
     # Role construction (the commit-lifecycle entry points)
     # ------------------------------------------------------------------
     def make_client(
-        self, transport, node_id: str, dc: str, *, placement, config, counters
-    ):
+        self,
+        transport: Transport,
+        node_id: str,
+        dc: str,
+        *,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: CounterSet,
+    ) -> object:
         """Build this protocol's app-server node (``read``/``commit``)."""
+        if self.client_factory is None:
+            raise ValueError(f"protocol {self.name!r} has no client factory")
         return self.client_factory(
             transport, node_id, dc,
             placement=placement, config=config, counters=counters,
         )
 
     def make_storage_node(
-        self, transport, node_id: str, dc: str, *, placement, config, counters
-    ):
+        self,
+        transport: Transport,
+        node_id: str,
+        dc: str,
+        *,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: CounterSet,
+    ) -> object:
         """Build this protocol's storage-node replica."""
+        if self.storage_factory is None:
+            raise ValueError(f"protocol {self.name!r} has no storage factory")
         return self.storage_factory(
             transport, node_id, dc,
             placement=placement, config=config, counters=counters,
@@ -128,7 +151,7 @@ class Protocol:
     # ------------------------------------------------------------------
     # Quorum/engine configuration
     # ------------------------------------------------------------------
-    def make_config(self, replication: int, **tunables) -> Optional[MDCCConfig]:
+    def make_config(self, replication: int, **tunables: Any) -> Optional[MDCCConfig]:
         """The :class:`MDCCConfig` a spec's tunables describe.
 
         ``None`` for protocols that do not parameterize the MDCC engine —
@@ -156,7 +179,15 @@ class Protocol:
 # Role factories (lazy imports: the registry must not pull every
 # protocol module — or the trace/placement machinery — at import time)
 # ----------------------------------------------------------------------
-def _mdcc_client(transport, node_id, dc, *, placement, config, counters):
+def _mdcc_client(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.core.coordinator import MDCCCoordinator
 
     return MDCCCoordinator(
@@ -165,7 +196,15 @@ def _mdcc_client(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _mdcc_storage(transport, node_id, dc, *, placement, config, counters):
+def _mdcc_storage(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.core.storage_node import MDCCStorageNode
 
     return MDCCStorageNode(
@@ -174,7 +213,15 @@ def _mdcc_storage(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _twopc_client(transport, node_id, dc, *, placement, config, counters):
+def _twopc_client(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.twopc import TwoPCCoordinator
 
     return TwoPCCoordinator(
@@ -183,7 +230,15 @@ def _twopc_client(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _twopc_storage(transport, node_id, dc, *, placement, config, counters):
+def _twopc_storage(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.twopc import TwoPCStorageNode
 
     return TwoPCStorageNode(
@@ -193,7 +248,15 @@ def _twopc_storage(transport, node_id, dc, *, placement, config, counters):
 
 
 def _qw_client(write_quorum: int) -> RoleFactory:
-    def make(transport, node_id, dc, *, placement, config, counters):
+    def make(
+        transport: Transport,
+        node_id: str,
+        dc: str,
+        *,
+        placement: ReplicaMap,
+        config: MDCCConfig,
+        counters: CounterSet,
+    ) -> object:
         from repro.protocols.quorumwrites import QuorumWriteClient
 
         return QuorumWriteClient(
@@ -205,7 +268,15 @@ def _qw_client(write_quorum: int) -> RoleFactory:
     return make
 
 
-def _qw_storage(transport, node_id, dc, *, placement, config, counters):
+def _qw_storage(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.quorumwrites import QuorumWriteStorageNode
 
     return QuorumWriteStorageNode(
@@ -214,7 +285,15 @@ def _qw_storage(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _megastore_client(transport, node_id, dc, *, placement, config, counters):
+def _megastore_client(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.megastore import MegastoreClient
 
     return MegastoreClient(
@@ -223,7 +302,15 @@ def _megastore_client(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _megastore_storage(transport, node_id, dc, *, placement, config, counters):
+def _megastore_storage(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.megastore import MegastoreStorageNode
 
     return MegastoreStorageNode(
@@ -232,7 +319,15 @@ def _megastore_storage(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _repcommit_client(transport, node_id, dc, *, placement, config, counters):
+def _repcommit_client(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.replicatedcommit import ReplicatedCommitClient
 
     return ReplicatedCommitClient(
@@ -241,7 +336,15 @@ def _repcommit_client(transport, node_id, dc, *, placement, config, counters):
     )
 
 
-def _repcommit_storage(transport, node_id, dc, *, placement, config, counters):
+def _repcommit_storage(
+    transport: Transport,
+    node_id: str,
+    dc: str,
+    *,
+    placement: ReplicaMap,
+    config: MDCCConfig,
+    counters: CounterSet,
+) -> object:
     from repro.protocols.replicatedcommit import ReplicatedCommitStorageNode
 
     return ReplicatedCommitStorageNode(

@@ -56,26 +56,26 @@ DEFAULT_BATCH = 4
 # ----------------------------------------------------------------------
 # Messages
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsCommitRequest:
     txid: str
     updates: Tuple[Tuple[RecordId, Update], ...]
     reply_to: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsCommitResult:
     txid: str
     committed: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsLogAppend:
     position: int
     entries: Tuple[Tuple[str, Tuple[Tuple[RecordId, Update], ...]], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsLogAck:
     position: int
 
@@ -349,7 +349,7 @@ class MegastoreClient(Node):
             committed=message.committed,
             started_at=started_at,
             decided_at=self.now,
-            statuses={str(record): status for record in records},
+            statuses={str(record): status for record in sorted(records)},
             fast_path=False,
         )
         self.counters.increment(

@@ -36,7 +36,7 @@ from repro.storage.store import RecordStore
 __all__ = ["QuorumWriteClient", "QuorumWriteStorageNode"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QWWrite:
     txid: str
     record: RecordId
@@ -45,7 +45,7 @@ class QWWrite:
     writer: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QWAck:
     txid: str
     record: RecordId

@@ -44,21 +44,21 @@ __all__ = ["TwoPCCoordinator", "TwoPCStorageNode"]
 # ----------------------------------------------------------------------
 # Messages
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareRequest:
     txid: str
     record: RecordId
     update: Update
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareReply:
     txid: str
     record: RecordId
     ok: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecisionMessage:
     txid: str
     record: RecordId
@@ -66,7 +66,7 @@ class DecisionMessage:
     commit: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecisionAck:
     txid: str
     record: RecordId

@@ -100,7 +100,7 @@ class LatencyModel:
         self._half_rtt: Dict[Tuple[str, str], float] = {}
         self._known: set[str] = set()
         for pair, rtt in self.rtt_matrix.items():
-            names = tuple(pair)
+            names = tuple(sorted(pair))
             if len(names) == 2:
                 self._directional[(names[0], names[1])] = rtt
                 self._directional[(names[1], names[0])] = rtt

@@ -14,8 +14,11 @@ JSON/msgpack-compatible values:
   element-wise; dicts (string keys only) map value-wise.
 
 **Registration is explicit.**  :data:`MESSAGE_TYPES` must list every
-class in :mod:`repro.core.messages`; the codec round-trip test diffs the
-two and fails when a new message type lands without a codec entry.
+wire-reachable message dataclass — all of :mod:`repro.core.messages`
+plus the protocol-local messages under :mod:`repro.protocols`.  The
+WIRE-codec rule of :mod:`repro.analysis` statically fails the build when
+a message lands without frozen/``__slots__``/codec entry, and the codec
+round-trip tests require a worst-case sample per registered type.
 
 Two byte codecs wrap the transform: JSON (always available) and msgpack
 (the optional ``repro[transport]`` extra).  Frames on the wire are
@@ -26,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Tuple, Type
+from typing import Any, Dict, Optional, Protocol, Tuple, Type
 
 from repro.core import messages as _messages
 from repro.core.options import (
@@ -39,9 +42,23 @@ from repro.core.options import (
 )
 from repro.paxos.ballot import Ballot, BallotRange
 from repro.paxos.cstruct import CStruct
+from repro.protocols.megastore import (
+    MsCommitRequest,
+    MsCommitResult,
+    MsLogAck,
+    MsLogAppend,
+)
+from repro.protocols.quorumwrites import QWAck, QWWrite
+from repro.protocols.twopc import (
+    DecisionAck,
+    DecisionMessage,
+    PrepareReply,
+    PrepareRequest,
+)
 from repro.transport.base import TransportError
 
 __all__ = [
+    "ByteCodec",
     "CodecError",
     "MESSAGE_TYPES",
     "VALUE_TYPES",
@@ -57,8 +74,8 @@ class CodecError(TransportError):
     """An object cannot be encoded, or a payload cannot be decoded."""
 
 
-#: every message class that may cross the wire — keep in lockstep with
-#: ``repro.core.messages.__all__`` (tests enforce the pairing).
+#: every message class that may cross the wire (core + protocol-local);
+#: the WIRE-codec analyzer rule enforces the pairing.
 MESSAGE_TYPES: Tuple[type, ...] = (
     _messages.CatchUp,
     _messages.FastReply,
@@ -88,6 +105,17 @@ MESSAGE_TYPES: Tuple[type, ...] = (
     _messages.StatusRequest,
     _messages.Visibility,
     _messages.VisibilityBatch,
+    # protocol-local messages (baseline protocols from §5.2)
+    DecisionAck,
+    DecisionMessage,
+    MsCommitRequest,
+    MsCommitResult,
+    MsLogAck,
+    MsLogAppend,
+    PrepareReply,
+    PrepareRequest,
+    QWAck,
+    QWWrite,
 )
 
 #: value dataclasses nested inside messages.
@@ -101,7 +129,7 @@ VALUE_TYPES: Tuple[type, ...] = (
     RecordId,
 )
 
-_REGISTRY: Dict[str, Type] = {
+_REGISTRY: Dict[str, Type[Any]] = {
     cls.__name__: cls for cls in (*MESSAGE_TYPES, *VALUE_TYPES)
 }
 
@@ -168,6 +196,17 @@ def decode(data: Any) -> Any:
 # ----------------------------------------------------------------------
 # Byte codecs
 # ----------------------------------------------------------------------
+class ByteCodec(Protocol):
+    """The structural contract both byte codecs satisfy."""
+
+    name: str
+    tag: bytes
+
+    def dumps(self, obj: Any) -> bytes: ...
+
+    def loads(self, payload: bytes) -> Any: ...
+
+
 class JsonCodec:
     name = "json"
     tag = b"J"
@@ -188,7 +227,7 @@ class MsgpackCodec:
     def __init__(self) -> None:
         import msgpack  # deferred: the optional [transport] extra
 
-        self._msgpack = msgpack
+        self._msgpack: Any = msgpack
 
     def dumps(self, obj: Any) -> bytes:
         return self._msgpack.packb(obj, use_bin_type=True)
@@ -197,7 +236,7 @@ class MsgpackCodec:
         return self._msgpack.unpackb(payload, raw=False, strict_map_key=False)
 
 
-def resolve_codec(preferred: str = "json"):
+def resolve_codec(preferred: str = "json") -> Tuple[ByteCodec, Optional[str]]:
     """Return ``(codec, warning_or_None)`` for the requested byte codec.
 
     ``msgpack`` degrades to JSON frames with an explanatory warning when
@@ -218,10 +257,10 @@ def resolve_codec(preferred: str = "json"):
     raise CodecError(f"unknown codec {preferred!r}; choose json or msgpack")
 
 
-_CODECS_BY_TAG = {b"J": JsonCodec()}
+_CODECS_BY_TAG: Dict[bytes, ByteCodec] = {b"J": JsonCodec()}
 
 
-def encode_frame_payload(envelope: Dict[str, Any], codec) -> bytes:
+def encode_frame_payload(envelope: Dict[str, Any], codec: ByteCodec) -> bytes:
     """``codec tag byte + serialized envelope`` (length prefix added by
     the framing layer)."""
     return codec.tag + codec.dumps(envelope)

@@ -1,71 +1,79 @@
 """Core protocol code must be transport-neutral.
 
-The acceptance criterion from the transport issue: nothing under
-``src/repro/core/`` may import from ``repro.sim`` (or reach a simulator
-through ``self.sim``).  Role classes speak only to the
-:class:`repro.transport.base.Transport` interface, so the same code runs
-under the simulator and over asyncio TCP.
+The AST walk that used to live here is now the ISO-sim-free rule of
+:mod:`repro.analysis` (with per-package allowlists covering protocols/,
+placement/, reconfig/ and the restricted transport modules, not just
+core/).  These tests assert through the analyzer so there is one source
+of truth — plus a fixture check that the rule still fires.
 """
 
-import ast
 import pathlib
+import textwrap
 
-import repro.core
+from repro.analysis.engine import Project, SourceFile
+from repro.analysis.rules_isolation import ISO_SIM_FREE
 
-CORE_DIR = pathlib.Path(repro.core.__file__).parent
-FORBIDDEN_PREFIX = "repro.sim"
-
-
-def _core_sources():
-    return sorted(CORE_DIR.glob("*.py"))
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
-def _forbidden_imports(path):
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    hits = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "repro.sim" or alias.name.startswith(
-                    FORBIDDEN_PREFIX + "."
-                ):
-                    hits.append(f"{path.name}:{node.lineno} import {alias.name}")
-        elif isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            if module == "repro.sim" or module.startswith(FORBIDDEN_PREFIX + "."):
-                hits.append(f"{path.name}:{node.lineno} from {module} import ...")
-    return hits
+def _findings(project):
+    return list(ISO_SIM_FREE.check(project))
 
 
-def test_core_has_files_to_check():
-    assert len(_core_sources()) >= 5
+def test_rule_covers_the_original_scope():
+    """The per-package allowlist map must still restrict everything the
+    original test restricted (core/ + transport/base.py)."""
+    from repro.analysis.rules_isolation import FORBIDDEN_IMPORTS
+
+    assert "repro.sim" in FORBIDDEN_IMPORTS["src/repro/core/"]
+    assert "repro.sim" in FORBIDDEN_IMPORTS["src/repro/transport/base.py"]
+    assert "repro.sim" in FORBIDDEN_IMPORTS["src/repro/protocols/"]
 
 
-def test_no_sim_imports_in_core():
-    hits = [hit for path in _core_sources() for hit in _forbidden_imports(path)]
+def test_tree_is_isolation_clean():
+    """No transport-neutral module imports repro.sim (or reaches a
+    simulator through ``.sim``) anywhere in the committed tree."""
+    project = Project(REPO_ROOT)
+    assert len(project.in_scope(include=("src/repro/core/",))) >= 5
+    hits = _findings(project)
     assert not hits, (
-        "protocol code under src/repro/core/ must not import repro.sim — "
-        "route everything through repro.transport instead:\n" + "\n".join(hits)
+        "protocol code must route everything through repro.transport:\n"
+        + "\n".join(f"{f.location()}: {f.message}" for f in hits)
     )
 
 
-def test_no_sim_attribute_access_in_core():
-    """Role classes must not reach a simulator via ``self.sim`` / ``.sim.``."""
-    hits = []
-    for path in _core_sources():
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Attribute) and node.attr == "sim":
-                hits.append(f"{path.name}:{node.lineno} .sim attribute access")
-    assert not hits, (
-        "core protocol code must use Node.now/set_timer/future(), "
-        "not a simulator handle:\n" + "\n".join(hits)
+def test_rule_fires_on_sim_import_in_core():
+    offender = SourceFile(
+        "src/repro/core/rogue.py",
+        textwrap.dedent(
+            """\
+            from repro.sim.events import Simulation
+
+            def f(sim):
+                return sim.now
+            """
+        ),
     )
+    hits = _findings(Project(REPO_ROOT, files=[offender]))
+    assert [(f.line, "from repro.sim" in f.message or "sim" in f.message) for f in hits]
+    assert hits[0].line == 1
+    assert "transport-neutral" in hits[0].message
 
 
-def test_transport_base_is_sim_free():
-    """The interface itself must not drag the simulator in either."""
-    import repro.transport.base as base
+def test_rule_fires_on_sim_attribute_access_in_core():
+    offender = SourceFile(
+        "src/repro/core/rogue.py",
+        "class R:\n    def now(self):\n        return self.sim.now\n",
+    )
+    hits = _findings(Project(REPO_ROOT, files=[offender]))
+    assert len(hits) == 1
+    assert hits[0].line == 3
+    assert ".sim attribute access" in hits[0].message
 
-    path = pathlib.Path(base.__file__)
-    assert not _forbidden_imports(path)
+
+def test_sim_backend_itself_is_exempt():
+    backend = SourceFile(
+        "src/repro/transport/simnet.py",
+        "from repro.sim.events import Simulation\n",
+    )
+    assert not _findings(Project(REPO_ROOT, files=[backend]))
